@@ -1,0 +1,130 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+* transaction overhead — what the §3.4 machinery (journaled 2PC) adds to
+  a checkpoint,
+* bulk chunk size — the pipelining granularity of the server-directed
+  data path,
+* per-object separate capabilities (NASD-style fine-grained control)
+  emulated by issuing one capability per object vs one per container —
+  quantifying §3.1.1's case for coarse-grained containers.
+"""
+
+from repro.bench import format_rows, run_checkpoint_trial, save_json
+from repro.iolib import LWFSCheckpointer
+from repro.lwfs import OpMask
+from repro.machine import dev_cluster
+from repro.parallel import ParallelApp
+from repro.sim import LWFSDeployment, SimCluster, SimConfig
+from repro.storage import SyntheticData
+from repro.units import MiB
+
+from conftest import run_once
+
+STATE = 32 * MiB
+
+
+def test_transaction_overhead(benchmark):
+    """2PC + journaling cost a few percent, not a redesign."""
+
+    def measure():
+        rows = []
+        for txn in (True, False):
+            cluster = SimCluster(
+                dev_cluster(), SimConfig(seed=21), io_nodes=8, service_nodes=1
+            )
+            dep = LWFSDeployment(cluster, n_storage_servers=8)
+            ck = LWFSCheckpointer(dep, transactional=txn)
+            app = ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=16)
+
+            def main(ctx):
+                yield from ck.setup(ctx)
+                return (yield from ck.checkpoint(ctx, SyntheticData(STATE, seed=ctx.rank)))
+
+            results = app.run(main)
+            elapsed = max(r.elapsed for r in results)
+            rows.append(
+                {
+                    "transactional": txn,
+                    "throughput_mb_s": 16 * STATE / MiB / elapsed,
+                    "max_elapsed_s": elapsed,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print()
+    print(format_rows("Ablation — §3.4 transaction machinery", rows))
+    save_json("ablation_txn", rows)
+    with_txn, without = rows
+    overhead = without["throughput_mb_s"] / with_txn["throughput_mb_s"] - 1
+    assert -0.02 <= overhead <= 0.15  # atomicity costs at most ~15% here
+
+
+def test_chunk_size_sweep(benchmark):
+    """Too-small chunks drown in per-request overhead; huge chunks lose
+    pipelining.  The 1-4 MiB band (Lustre-era RPC size) is the plateau."""
+
+    def sweep():
+        rows = []
+        for chunk in (256 * 1024, 1 * MiB, 4 * MiB, 16 * MiB):
+            config = SimConfig(chunk_bytes=chunk, seed=31)
+            r = run_checkpoint_trial(
+                "lwfs", 8, 8, state_bytes=STATE, seed=31, config=config
+            )
+            rows.append(
+                {"chunk_bytes": chunk, "throughput_mb_s": r.throughput_mb_s}
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_rows("Ablation — bulk chunk size", rows))
+    save_json("ablation_chunksize", rows)
+    by_chunk = {r["chunk_bytes"]: r["throughput_mb_s"] for r in rows}
+    assert by_chunk[4 * MiB] >= 0.9 * max(by_chunk.values())
+
+
+def test_coarse_vs_fine_grained_caps(benchmark):
+    """§3.1.1: container-granularity access control means one capability
+    (and one verify per server) covers every object.  Per-object
+    capabilities (NASD-flavored) multiply acquisition and verify traffic."""
+
+    def run(fine_grained: bool, n_objects: int = 24):
+        cluster = SimCluster(dev_cluster(), SimConfig(seed=41), io_nodes=4, service_nodes=1)
+        dep = LWFSDeployment(cluster, n_storage_servers=4)
+        client = dep.client(cluster.compute_nodes[0])
+        env = cluster.env
+
+        def flow():
+            cred = yield from client.get_cred("alice", "alice-password")
+            start = env.now
+            if fine_grained:
+                # one container + capability per object
+                for i in range(n_objects):
+                    cid = yield from client.create_container(cred)
+                    cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+                    yield from client.create_object(cap, i % 4)
+            else:
+                cid = yield from client.create_container(cred)
+                cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+                for i in range(n_objects):
+                    yield from client.create_object(cap, i % 4)
+            return env.now - start
+
+        elapsed = env.run(env.process(flow()))
+        return {
+            "granularity": "per-object" if fine_grained else "per-container",
+            "objects": n_objects,
+            "time_ms": elapsed * 1e3,
+            "getcaps": dep.authz.svc.getcap_count,
+            "verify_rpcs": sum(s.verify_rpcs for s in dep.storage),
+        }
+
+    rows = run_once(benchmark, lambda: [run(False), run(True)])
+    print()
+    print(format_rows("Ablation — §3.1.1 access-control granularity", rows))
+    save_json("ablation_granularity", rows)
+    coarse, fine = rows
+    assert coarse["getcaps"] == 1 and coarse["verify_rpcs"] <= 4
+    assert fine["getcaps"] == 24 and fine["verify_rpcs"] == 24
+    assert fine["time_ms"] > coarse["time_ms"]

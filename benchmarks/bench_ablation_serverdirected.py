@@ -1,0 +1,71 @@
+"""Figure 6 ablation: server-directed pull vs. client push under a burst.
+
+§3.2's argument: when a burst of clients hits one I/O server, pushed data
+that the server cannot buffer gets rejected and re-sent, "creating
+overhead on the compute nodes ... and consuming valuable network
+resources".  The server-directed discipline pulls data only when a thread,
+a pinned buffer, and the disk are available, so nothing is ever re-sent.
+
+We shrink the pinned-buffer pool to make the pressure visible at
+simulation scale.
+"""
+
+import dataclasses
+
+from repro.bench import format_rows, save_json
+from repro.iolib import LWFSCheckpointer
+from repro.machine import dev_cluster
+from repro.parallel import ParallelApp
+from repro.sim import LWFSDeployment, SimCluster, SimConfig
+from repro.storage import SyntheticData
+from repro.units import MiB
+
+from conftest import run_once
+
+N_CLIENTS = 12
+STATE = 16 * MiB
+
+
+def _burst(server_directed: bool):
+    config = SimConfig(
+        chunk_bytes=2 * MiB,
+        buffer_pool_bytes=4 * MiB,  # tight: two chunks' worth
+        pipeline_depth=2,
+    )
+    cluster = SimCluster(dev_cluster(), config, io_nodes=1, service_nodes=1)
+    dep = LWFSDeployment(cluster, n_storage_servers=1, server_directed=server_directed)
+    ck = LWFSCheckpointer(dep, transactional=False)
+    app = ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=N_CLIENTS)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        result = yield from ck.checkpoint(ctx, SyntheticData(STATE, seed=ctx.rank))
+        return result
+
+    results = app.run(main)
+    elapsed = max(r.elapsed for r in results)
+    resends = sum(c.resend_count for c in dep._clients.values())
+    wasted = resends * config.chunk_bytes
+    return {
+        "mode": "server-directed" if server_directed else "client-push",
+        "clients": N_CLIENTS,
+        "throughput_mb_s": N_CLIENTS * STATE / MiB / elapsed,
+        "rejected": dep.storage[0].rejected_requests,
+        "resent_chunks": resends,
+        "wasted_wire_mb": wasted / MiB,
+    }
+
+
+def test_server_directed_vs_client_push(benchmark):
+    rows = run_once(benchmark, lambda: [_burst(True), _burst(False)])
+    print()
+    print(format_rows("Fig 6 ablation — data-movement discipline under burst", rows))
+    save_json("ablation_serverdirected", rows)
+    pulled, pushed = rows
+    # Server-directed never rejects or re-sends.
+    assert pulled["rejected"] == 0 and pulled["resent_chunks"] == 0
+    # Client push under pressure rejects, re-sends, and wastes wire.
+    assert pushed["rejected"] > 0
+    assert pushed["wasted_wire_mb"] > 0
+    # And ends up slower.
+    assert pulled["throughput_mb_s"] > pushed["throughput_mb_s"]

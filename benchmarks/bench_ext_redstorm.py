@@ -1,0 +1,81 @@
+"""Extension experiment: the checkpoint on a Red Storm-class slice.
+
+The paper's future work (§6): "The next logical step is to acquire more
+compelling evidence by running experiments on Sandia's large production
+machines."  The simulation can take that step: this bench runs the LWFS
+and Lustre-like checkpoints on a slice of the Red Storm model (Table 2
+parameters: 6 GB/s links, 400 MB/s RAID per I/O node, lightweight-kernel
+compute nodes on a 3-D mesh) and checks the dev-cluster conclusions carry
+over to the bigger, faster machine.
+"""
+
+from repro.bench import format_rows, run_checkpoint_trial, run_create_trial, save_json
+from repro.machine import red_storm
+from repro.sim import SimConfig
+from repro.units import MiB
+
+from conftest import run_once
+
+N_CLIENTS = 128
+N_SERVERS = 32
+STATE = 64 * MiB
+
+
+def _row(impl, fn=run_checkpoint_trial, **kw):
+    spec = red_storm()
+    result = fn(
+        impl,
+        N_CLIENTS,
+        N_SERVERS,
+        spec=spec,
+        config=SimConfig(seed=91),
+        seed=91,
+        **kw,
+    )
+    if fn is run_checkpoint_trial:
+        return {
+            "impl": impl,
+            "metric": "dump MB/s",
+            "value": round(result.throughput_mb_s, 1),
+        }
+    return {
+        "impl": impl,
+        "metric": "creates/s",
+        "value": round(result.extra["creates_per_s"]),
+    }
+
+
+def test_redstorm_slice(benchmark):
+    def sweep():
+        rows = [
+            _row("lwfs", state_bytes=STATE),
+            _row("lustre-fpp", state_bytes=STATE),
+            _row("lustre-shared", state_bytes=STATE),
+            _row("lwfs", fn=run_create_trial, creates_per_client=16),
+            _row("lustre-fpp", fn=run_create_trial, creates_per_client=16),
+        ]
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        format_rows(
+            f"Extension — Red Storm slice ({N_CLIENTS} clients / {N_SERVERS} I/O nodes)",
+            rows,
+        )
+    )
+    save_json("ext_redstorm", rows)
+
+    dump = {r["impl"]: r["value"] for r in rows if r["metric"] == "dump MB/s"}
+    creates = {r["impl"]: r["value"] for r in rows if r["metric"] == "creates/s"}
+
+    # 32 I/O nodes x 400 MB/s = 12.8 GB/s ceiling; the stacks should get
+    # most of it (LWFS/fpp) or roughly half (shared) — same shape, bigger
+    # machine.
+    ceiling = 32 * 400
+    assert 0.75 * ceiling <= dump["lwfs"] <= 1.02 * ceiling
+    assert 0.75 * ceiling <= dump["lustre-fpp"] <= 1.02 * ceiling
+    assert 0.3 <= dump["lustre-shared"] / dump["lustre-fpp"] <= 0.75
+
+    # The metadata-server conclusion is machine-independent.
+    assert creates["lwfs"] > 10 * creates["lustre-fpp"]

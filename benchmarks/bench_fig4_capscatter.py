@@ -1,0 +1,71 @@
+"""Figure 4a: capability acquisition and logarithmic distribution.
+
+Compares the paper's protocol — one ``getcaps`` at the authorization
+server followed by a logarithmic scatter among the clients — with the
+naive alternative where every client fetches its own capability.  The
+point of §2.3's design rules: the server must not see O(n) traffic.
+"""
+
+from repro.bench import format_rows, save_json
+from repro.lwfs import OpMask
+from repro.machine import dev_cluster
+from repro.parallel import ParallelApp
+from repro.sim import LWFSDeployment, SimCluster, SimConfig
+
+from conftest import run_once
+
+
+def _acquire(n_ranks: int, mode: str):
+    cluster = SimCluster(dev_cluster(), SimConfig(), io_nodes=2, service_nodes=1)
+    dep = LWFSDeployment(cluster, n_storage_servers=2)
+    app = ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=n_ranks)
+
+    def main(ctx):
+        client = dep.client(ctx.node)
+        start = ctx.env.now
+        if mode == "scatter":
+            if ctx.rank == 0:
+                cred = yield from client.get_cred("alice", "alice-password")
+                cid = yield from client.create_container(cred)
+                cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+            else:
+                cap = None
+            cap = yield from ctx.bcast(cap, nbytes=cluster.config.cap_bytes)
+        else:  # every rank hits the authorization server
+            if ctx.rank == 0:
+                cred = yield from client.get_cred("alice", "alice-password")
+                cid = yield from client.create_container(cred)
+            else:
+                cred = cid = None
+            cred, cid = yield from ctx.bcast((cred, cid), nbytes=cluster.config.cap_bytes)
+            cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+        return ctx.env.now - start
+
+    times = app.run(main)
+    return {
+        "mode": mode,
+        "clients": n_ranks,
+        "time_ms": max(times) * 1e3,
+        "authz_requests": dep.authz.rpc.requests_served,
+    }
+
+
+def test_fig4a_capability_distribution(benchmark):
+    def sweep():
+        rows = []
+        for n in (4, 16, 64):
+            rows.append(_acquire(n, "scatter"))
+            rows.append(_acquire(n, "per-client"))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_rows("Fig 4a — capability acquisition: log-scatter vs per-client", rows))
+    save_json("fig4a_capscatter", rows)
+
+    by = {(r["mode"], r["clients"]): r for r in rows}
+    # Authorization-server load: constant for scatter, O(n) for per-client.
+    assert by[("scatter", 64)]["authz_requests"] == by[("scatter", 4)]["authz_requests"]
+    assert by[("per-client", 64)]["authz_requests"] > 60
+    # And the scatter is faster at scale.
+    assert by[("scatter", 64)]["time_ms"] < by[("per-client", 64)]["time_ms"]

@@ -1,0 +1,89 @@
+"""Figure 9: checkpoint dump-phase throughput, three panels.
+
+Each panel plots aggregate MB/s against client count, one series per
+server count {2,4,8,16}, for (a) Lustre file-per-process, (b) Lustre
+shared file, and (c) LWFS object-per-process.  The paper's claims:
+
+* file-per-process and LWFS scale with the number of servers and saturate
+  near the aggregate RAID bandwidth (~1.4-1.5 GB/s at 16 servers),
+* the shared file manages "roughly half" of that.
+"""
+
+import pytest
+
+from repro.bench import fig9_panel, format_series_table, save_json
+
+from conftest import run_once
+
+
+def _panel(impl, scale):
+    return fig9_panel(
+        impl,
+        clients=scale["clients"],
+        servers=scale["servers"],
+        state_bytes=scale["state_bytes"],
+        trials=scale["trials"],
+    )
+
+
+@pytest.fixture(scope="module")
+def panels(scale):
+    cache = {}
+
+    def get(impl):
+        if impl not in cache:
+            cache[impl] = _panel(impl, scale)
+        return cache[impl]
+
+    return get
+
+
+def _series_max(points, n_servers):
+    return max(p.mean for p in points if p.n_servers == n_servers)
+
+
+def test_fig9_lustre_fpp(benchmark, panels, scale):
+    points = run_once(benchmark, lambda: panels("lustre-fpp"))
+    print()
+    print(format_series_table("Fig 9a — Lustre checkpoint, one file per process", points))
+    save_json("fig9a_lustre_fpp", points)
+    # Bandwidth scales with servers.
+    assert _series_max(points, 16) > 5 * _series_max(points, 2)
+
+
+def test_fig9_lustre_shared(benchmark, panels, scale):
+    points = run_once(benchmark, lambda: panels("lustre-shared"))
+    print()
+    print(format_series_table("Fig 9b — Lustre checkpoint, one shared file", points))
+    save_json("fig9b_lustre_shared", points)
+    fpp = panels("lustre-fpp")
+    # "the throughput of the shared-file case is roughly half that of the
+    # file-per-process ... implementations" — check at the largest point.
+    big_clients = max(scale["clients"])
+    for m in scale["servers"]:
+        shared = next(p.mean for p in points if p.n_servers == m and p.n_clients == big_clients)
+        ref = next(p.mean for p in fpp if p.n_servers == m and p.n_clients == big_clients)
+        assert 0.3 <= shared / ref <= 0.75, (m, shared, ref)
+
+
+def test_fig9_lwfs(benchmark, panels, scale):
+    points = run_once(benchmark, lambda: panels("lwfs"))
+    print()
+    print(format_series_table("Fig 9c — LWFS checkpoint, one object per process", points))
+    save_json("fig9c_lwfs", points)
+    # Peak at 16 servers lands in the paper's 1.3-1.6 GB/s band (quick
+    # mode uses small transfers whose startup costs shave the peak a bit).
+    from repro.units import MiB
+
+    peak = _series_max(points, 16)
+    if scale["state_bytes"] >= 32 * MiB:
+        assert 1200 <= peak <= 1650, peak
+    else:
+        assert 1000 <= peak <= 1650, peak
+    # LWFS tracks (or beats) the fpp bandwidth everywhere measured.
+    fpp = panels("lustre-fpp")
+    big_clients = max(scale["clients"])
+    for m in scale["servers"]:
+        lw = next(p.mean for p in points if p.n_servers == m and p.n_clients == big_clients)
+        ref = next(p.mean for p in fpp if p.n_servers == m and p.n_clients == big_clients)
+        assert lw > 0.8 * ref, (m, lw, ref)

@@ -1,0 +1,73 @@
+"""§4's closing extrapolation: the petaflop thought experiment.
+
+"If we make conservative approximations to scale the results from our
+development cluster to a theoretical petaflop system with 100,000 compute
+nodes and 2000 I/O nodes, creating the files will require multiple
+minutes to complete — roughly 10% of the total time for the checkpoint
+operation."
+
+The per-create costs feeding the model are *measured* from the simulated
+dev cluster (the same Fig. 10 workload the paper measured), then scaled.
+"""
+
+from repro.bench import (
+    format_rows,
+    petaflop_extrapolation,
+    run_create_trial,
+    save_json,
+)
+from repro.bench.analytic import CheckpointModel
+from repro.machine import petaflop
+from repro.units import MiB
+
+from conftest import run_once
+
+
+def _measure_and_extrapolate():
+    # Measure per-create service times on the dev cluster, as the paper did.
+    lustre = run_create_trial("lustre-fpp", 32, 16, creates_per_client=16, seed=77)
+    lwfs = run_create_trial("lwfs", 32, 16, creates_per_client=16, seed=77)
+    mds_create = 1.0 / lustre.extra["creates_per_s"]  # serialized at 1 MDS
+    # LWFS creates ran on 16 servers; per-server service time:
+    lwfs_create = 16.0 / lwfs.extra["creates_per_s"]
+
+    spec = petaflop()
+    model = CheckpointModel(
+        n_clients=spec.compute_nodes,
+        n_servers=spec.io_nodes,
+        state_bytes=10 * 1024 * MiB,
+        server_bandwidth=spec.io_spec.storage.bandwidth,
+        mds_create_time=mds_create,
+        distributed_create_time=lwfs_create,
+    )
+    summary = model.summary()
+    rows = [
+        {"quantity": "measured MDS create (ms)", "value": mds_create * 1e3},
+        {"quantity": "measured LWFS create (ms)", "value": lwfs_create * 1e3},
+        {"quantity": "dump time (min)", "value": summary["dump_time_s"] / 60},
+        {"quantity": "PFS create time (min)", "value": summary["pfs_create_time_s"] / 60},
+        {"quantity": "PFS create fraction", "value": summary["pfs_create_fraction"]},
+        {"quantity": "LWFS create time (s)", "value": summary["lwfs_create_time_s"]},
+        {"quantity": "LWFS create fraction", "value": summary["lwfs_create_fraction"]},
+        {"quantity": "create speedup (LWFS/PFS)", "value": summary["create_speedup"]},
+    ]
+    return rows, summary
+
+
+def test_petaflop_extrapolation(benchmark):
+    rows, summary = run_once(benchmark, _measure_and_extrapolate)
+    print()
+    print(format_rows("§4 — petaflop extrapolation (100k compute / 2k I/O nodes)", rows))
+    save_json("petaflop_extrapolation", rows)
+
+    # "multiple minutes" of file creation...
+    assert 60 < summary["pfs_create_time_s"] < 600
+    # "...roughly 10% of the total time for the checkpoint operation".
+    assert 0.04 < summary["pfs_create_fraction"] < 0.25
+    # LWFS makes the create phase vanish.
+    assert summary["lwfs_create_fraction"] < 1e-3
+
+
+def test_default_model_matches_paper_claim(benchmark):
+    summary = run_once(benchmark, lambda: petaflop_extrapolation().summary())
+    assert 0.05 < summary["pfs_create_fraction"] < 0.2

@@ -1,0 +1,21 @@
+"""Table 1: compute and I/O nodes for MPPs at the DOE laboratories.
+
+Regenerates the paper's table from the machine presets and checks the
+model encodes the published node counts and ratios.
+"""
+
+from repro.bench import format_rows, save_json
+from repro.machine import table1_rows
+
+from conftest import run_once
+
+
+def test_table1_machines(benchmark):
+    rows = run_once(benchmark, table1_rows)
+    print()
+    print(format_rows("Table 1 — Compute and I/O nodes (paper vs model)", rows))
+    save_json("table1_machines", rows)
+    for row in rows:
+        assert row["model_compute"] == row["paper_compute"]
+        assert row["model_io"] == row["paper_io"]
+        assert abs(row["model_ratio"] - row["paper_ratio"]) <= 1

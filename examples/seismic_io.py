@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Application-specific I/O: parallel seismic-trace processing.
+
+The paper's introduction argues that "data-intensive applications show
+significant performance benefits when using application-specific
+interfaces" — citing, among others, parallel seismic imaging (its ref
+[27]).  This example builds exactly such a library *above* the LWFS-core:
+
+* a gather of seismic traces is stored as one object per shot line,
+* the application chooses the distribution policy (a hashed placement so
+  hot shot lines don't pile onto one server — something a general-purpose
+  file system would never let it decide),
+* ranks write their traces with no locks (the library partitions work),
+  then read back a *different* access pattern (common-midpoint sort) that
+  crosses rank boundaries — still without any consistency machinery,
+  because the application knows writes have finished (one barrier).
+
+Run:  python examples/seismic_io.py
+"""
+
+import numpy as np
+
+from repro.iolib import HashedPlacement
+from repro.lwfs import OpMask
+from repro.machine import dev_cluster
+from repro.parallel import ParallelApp
+from repro.sim import LWFSDeployment, SimCluster, SimConfig
+from repro.storage import piece_bytes
+from repro.units import MiB
+
+N_RANKS = 8
+N_SHOT_LINES = 16
+TRACES_PER_LINE = 64
+SAMPLES_PER_TRACE = 512  # float32 samples
+
+
+def trace_bytes(line: int, trace: int) -> bytes:
+    """Deterministic synthetic seismogram for (line, trace)."""
+    t = np.arange(SAMPLES_PER_TRACE, dtype=np.float32)
+    wavelet = np.sin(0.02 * (line + 1) * t) * np.exp(-t / 300.0)
+    wavelet[trace % SAMPLES_PER_TRACE] += 1.0  # a spike marking the trace
+    return wavelet.tobytes()
+
+
+TRACE_NBYTES = SAMPLES_PER_TRACE * 4
+
+
+def main() -> None:
+    cluster = SimCluster(
+        dev_cluster(), SimConfig(chunk_bytes=1 * MiB), io_nodes=4, service_nodes=1
+    )
+    dep = LWFSDeployment(cluster, n_storage_servers=4)
+    app = ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=N_RANKS)
+
+    # The application's own placement policy: shot line -> storage server.
+    placement = HashedPlacement(salt=1234)
+
+    def rank_program(ctx):
+        client = dep.client(ctx.node)
+        # Rank 0 acquires security state once and scatters it (Fig. 4a).
+        if ctx.rank == 0:
+            cred = yield from client.get_cred("alice", "alice-password")
+            cid = yield from client.create_container(cred)
+            cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+        else:
+            cap = None
+        cap = yield from ctx.bcast(cap, nbytes=192)
+
+        # Phase 1 — acquisition: each rank owns a block of shot lines and
+        # writes each line's traces into that line's object.
+        my_lines = range(ctx.rank, N_SHOT_LINES, ctx.size)
+        line_objects = {}
+        for line in my_lines:
+            sid = placement.place(line, dep.n_servers)
+            oid = yield from client.create_object(cap, sid, attrs={"line": line})
+            payload = b"".join(trace_bytes(line, tr) for tr in range(TRACES_PER_LINE))
+            yield from client.write(cap, oid, payload)
+            yield from client.bind(f"/seismic/survey1/line{line}", oid)
+            line_objects[line] = oid
+
+        yield from ctx.barrier()  # acquisition done; no locks were needed
+
+        # Phase 2 — common-midpoint gather: every rank now reads one trace
+        # from *every* line (a transposed access pattern crossing all the
+        # objects other ranks wrote).
+        my_trace = ctx.rank * (TRACES_PER_LINE // N_RANKS)
+        checks = 0
+        for line in range(N_SHOT_LINES):
+            oid = yield from client.lookup(f"/seismic/survey1/line{line}")
+            piece = yield from client.read(
+                cap, oid, my_trace * TRACE_NBYTES, TRACE_NBYTES
+            )
+            got = np.frombuffer(piece_bytes(piece), dtype=np.float32)
+            want = np.frombuffer(trace_bytes(line, my_trace), dtype=np.float32)
+            assert np.array_equal(got, want), (line, my_trace)
+            checks += 1
+        return checks
+
+    results = app.run(rank_program)
+    total_traces = N_SHOT_LINES * TRACES_PER_LINE
+    data_mb = total_traces * TRACE_NBYTES / MiB
+
+    per_server = [len(s.svc.store) for s in dep.storage]
+    print(f"survey: {N_SHOT_LINES} shot lines x {TRACES_PER_LINE} traces "
+          f"({data_mb:.1f} MB) written by {N_RANKS} ranks")
+    print(f"application-chosen placement spread lines over servers as {per_server}")
+    print(f"CMP-sort read-back verified {sum(results)} traces across rank boundaries")
+    print(f"lock-service grants used: {dep.locks.svc.grants} "
+          "(the application's schedule made locking unnecessary)")
+    print(f"simulated time: {cluster.env.now:.3f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — a reproduction of "Lightweight I/O for Scientific Applications".
+
+This package implements, in Python, the Lightweight File System (LWFS)
+described in Sandia report SAND2006-3057 (CLUSTER 2006), together with every
+substrate the paper depends on:
+
+* ``repro.simkernel``  — a discrete-event simulation kernel,
+* ``repro.machine``    — partitioned-architecture machine models (Table 1/2),
+* ``repro.network``    — fabric + Portals-style one-sided messaging + RPC,
+* ``repro.storage``    — object-based storage devices over a RAID model,
+* ``repro.lwfs``       — the LWFS-core: security, storage, naming, txns,
+* ``repro.sim``        — deployment of LWFS onto the simulated machine,
+* ``repro.pfs``        — a Lustre-like traditional parallel file system,
+* ``repro.parallel``   — a simulated SPMD (MPI-like) application runtime,
+* ``repro.iolib``      — I/O libraries layered on the LWFS-core, incl. the
+  checkpoint operation of the paper's case study (§4),
+* ``repro.bench``      — harnesses regenerating the paper's tables/figures.
+
+Quickstart (functional, non-simulated API)::
+
+    from repro.lwfs import LWFSDomain, OpMask
+
+    domain = LWFSDomain.create()                 # auth + authz + 4 servers
+    client = domain.client("alice", "alice-password")
+    cid = client.create_container()
+    caps = client.get_caps(cid, OpMask.ALL)
+    obj = client.create_object(cid)
+    client.write(obj, 0, b"hello, lightweight world")
+    assert client.read(obj, 0, 24) == b"hello, lightweight world"
+"""
+
+from ._version import __version__
+from . import errors, units
+
+__all__ = ["__version__", "errors", "units"]

@@ -1,0 +1,86 @@
+"""Sweep definitions that regenerate the paper's figures.
+
+* Figure 9 — dump-phase throughput vs. client count, one panel per
+  implementation, one series per server count {2, 4, 8, 16}.
+* Figure 10 — create-phase ops/s: (a) 16-server LWFS vs Lustre
+  comparison, (b) Lustre sweep, (c) LWFS sweep.
+
+The sweeps default to a scaled-down state size (the MB/s figure of merit
+is size-invariant once transfers amortize — checked by
+``tests/bench/test_harness.py``); pass ``state_bytes=PAPER_STATE_BYTES``
+for the full 512 MB runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..units import MiB
+from .harness import SweepPoint, measure_create_point, measure_point
+
+__all__ = [
+    "FIG9_CLIENTS",
+    "FIG9_SERVERS",
+    "fig9_panel",
+    "fig10_panel",
+    "fig10_comparison",
+]
+
+#: The x axis of Figures 9 and 10 (the paper plots 0..70 clients).
+FIG9_CLIENTS: Sequence[int] = (2, 4, 8, 16, 32, 48, 64)
+#: One series per server count in every panel.
+FIG9_SERVERS: Sequence[int] = (2, 4, 8, 16)
+
+
+def fig9_panel(
+    impl: str,
+    clients: Sequence[int] = FIG9_CLIENTS,
+    servers: Sequence[int] = FIG9_SERVERS,
+    state_bytes: int = 64 * MiB,
+    trials: int = 3,
+) -> List[SweepPoint]:
+    """One panel of Figure 9: throughput for every (clients, servers)."""
+    points: List[SweepPoint] = []
+    for m in servers:
+        for n in clients:
+            points.append(
+                measure_point(impl, n, m, trials=trials, state_bytes=state_bytes)
+            )
+    return points
+
+
+def fig10_panel(
+    impl: str,
+    clients: Sequence[int] = FIG9_CLIENTS,
+    servers: Sequence[int] = FIG9_SERVERS,
+    creates_per_client: int = 32,
+    trials: int = 3,
+) -> List[SweepPoint]:
+    """Figure 10 (b) or (c): create throughput sweep for one stack."""
+    points: List[SweepPoint] = []
+    for m in servers:
+        for n in clients:
+            points.append(
+                measure_create_point(
+                    impl, n, m, trials=trials, creates_per_client=creates_per_client
+                )
+            )
+    return points
+
+
+def fig10_comparison(
+    clients: Sequence[int] = FIG9_CLIENTS,
+    n_servers: int = 16,
+    creates_per_client: int = 32,
+    trials: int = 3,
+) -> Dict[str, List[SweepPoint]]:
+    """Figure 10 (a): the 16-server LWFS-vs-Lustre log-scale comparison."""
+    out: Dict[str, List[SweepPoint]] = {}
+    for impl in ("lwfs", "lustre-fpp"):
+        out[impl] = [
+            measure_create_point(
+                impl, n, n_servers, trials=trials, creates_per_client=creates_per_client
+            )
+            for n in clients
+        ]
+    return out

@@ -1,0 +1,237 @@
+"""Experiment harness: build a cluster, run a checkpoint, measure.
+
+Each trial constructs a fresh dev-cluster simulation (fresh seed →
+jittered service times → the error bars of the paper's plots), runs the
+chosen checkpoint implementation at (n_clients, n_servers), and reports
+the figure-of-merit the paper uses:
+
+* dump phase (Fig. 9): aggregate MB/s = n_clients * size / max-rank time,
+* create phase (Fig. 10): aggregate creates/s.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from ..iolib.checkpoint import LWFSCheckpointer, PFSCheckpointer
+from ..machine.presets import dev_cluster
+from ..machine.spec import MachineSpec
+from ..parallel.app import ParallelApp
+from ..pfs.deployment import PFSDeployment
+from ..sim.cluster import SimCluster
+from ..sim.config import SimConfig
+from ..sim.deployment import LWFSDeployment
+from ..storage.data import SyntheticData
+from ..units import MiB
+
+__all__ = [
+    "IMPLEMENTATIONS",
+    "TrialResult",
+    "SweepPoint",
+    "run_checkpoint_trial",
+    "run_create_trial",
+    "measure_point",
+    "measure_create_point",
+]
+
+#: The three implementations compared in §4.
+IMPLEMENTATIONS = ("lwfs", "lustre-fpp", "lustre-shared")
+
+#: Paper workload: every client writes 512 MB.  Experiments may scale it
+#: down; throughput in MB/s is size-invariant once transfers amortize.
+PAPER_STATE_BYTES = 512 * MiB
+
+
+@dataclass
+class TrialResult:
+    """One simulated run at one (impl, clients, servers) point."""
+
+    impl: str
+    n_clients: int
+    n_servers: int
+    state_bytes: int
+    max_elapsed: float
+    mean_elapsed: float
+    throughput_mb_s: float
+    create_max_elapsed: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated statistics over trials at one sweep point."""
+
+    impl: str
+    n_clients: int
+    n_servers: int
+    mean: float
+    stdev: float
+    unit: str
+    trials: List[float] = field(default_factory=list)
+
+
+def _build(
+    impl: str,
+    n_clients: int,
+    n_servers: int,
+    seed: int,
+    spec: Optional[MachineSpec] = None,
+    config: Optional[SimConfig] = None,
+    **deploy_kwargs,
+):
+    spec = spec or dev_cluster()
+    config = config or SimConfig()
+    config = replace(config, seed=seed)
+    cluster = SimCluster(
+        spec,
+        config,
+        compute_nodes=min(spec.compute_nodes, max(1, n_clients)),
+        io_nodes=spec.io_nodes,
+        service_nodes=1,
+    )
+    if impl == "lwfs":
+        deployment = LWFSDeployment(cluster, n_storage_servers=n_servers, **deploy_kwargs)
+        checkpointer = LWFSCheckpointer(deployment)
+    elif impl == "lustre-fpp":
+        deployment = PFSDeployment(cluster, n_osts=n_servers)
+        checkpointer = PFSCheckpointer(deployment, mode="file-per-process")
+    elif impl == "lustre-shared":
+        deployment = PFSDeployment(cluster, n_osts=n_servers)
+        checkpointer = PFSCheckpointer(deployment, mode="shared")
+    else:
+        raise ValueError(f"unknown implementation {impl!r}; expected one of {IMPLEMENTATIONS}")
+    app = ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=n_clients)
+    return cluster, deployment, checkpointer, app
+
+
+def run_checkpoint_trial(
+    impl: str,
+    n_clients: int,
+    n_servers: int,
+    state_bytes: int = PAPER_STATE_BYTES,
+    seed: int = 0,
+    spec: Optional[MachineSpec] = None,
+    config: Optional[SimConfig] = None,
+    **deploy_kwargs,
+) -> TrialResult:
+    """One full checkpoint (setup once + one dump), Figure 9 workload."""
+    cluster, deployment, checkpointer, app = _build(
+        impl, n_clients, n_servers, seed, spec, config, **deploy_kwargs
+    )
+
+    def main(ctx):
+        yield from checkpointer.setup(ctx)
+        yield from ctx.barrier()
+        result = yield from checkpointer.checkpoint(
+            ctx, SyntheticData(state_bytes, seed=ctx.rank)
+        )
+        return result
+
+    results = app.run(main)
+    max_elapsed = max(r.elapsed for r in results)
+    mean_elapsed = sum(r.elapsed for r in results) / len(results)
+    return TrialResult(
+        impl=impl,
+        n_clients=n_clients,
+        n_servers=n_servers,
+        state_bytes=state_bytes,
+        max_elapsed=max_elapsed,
+        mean_elapsed=mean_elapsed,
+        throughput_mb_s=(n_clients * state_bytes / MiB) / max_elapsed,
+        create_max_elapsed=max(r.create_elapsed for r in results),
+    )
+
+
+def run_create_trial(
+    impl: str,
+    n_clients: int,
+    n_servers: int,
+    creates_per_client: int = 32,
+    seed: int = 0,
+    spec: Optional[MachineSpec] = None,
+    config: Optional[SimConfig] = None,
+    **deploy_kwargs,
+) -> TrialResult:
+    """Create-only phase (Figure 10 workload): empty objects/files."""
+    cluster, deployment, checkpointer, app = _build(
+        impl, n_clients, n_servers, seed, spec, config, **deploy_kwargs
+    )
+
+    def main(ctx):
+        yield from checkpointer.setup(ctx)
+        yield from ctx.barrier()
+        result = yield from checkpointer.create_objects(ctx, creates_per_client)
+        return result
+
+    results = app.run(main)
+    max_elapsed = max(r.elapsed for r in results)
+    total_creates = n_clients * creates_per_client
+    return TrialResult(
+        impl=impl,
+        n_clients=n_clients,
+        n_servers=n_servers,
+        state_bytes=0,
+        max_elapsed=max_elapsed,
+        mean_elapsed=sum(r.elapsed for r in results) / len(results),
+        throughput_mb_s=0.0,
+        extra={"creates_per_s": total_creates / max_elapsed},
+    )
+
+
+def _aggregate(impl, n_clients, n_servers, values: List[float], unit: str) -> SweepPoint:
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / (len(values) - 1) if len(values) > 1 else 0.0
+    return SweepPoint(
+        impl=impl,
+        n_clients=n_clients,
+        n_servers=n_servers,
+        mean=mean,
+        stdev=math.sqrt(var),
+        unit=unit,
+        trials=values,
+    )
+
+
+def measure_point(
+    impl: str,
+    n_clients: int,
+    n_servers: int,
+    trials: int = 3,
+    state_bytes: int = PAPER_STATE_BYTES,
+    base_seed: int = 100,
+    **kwargs,
+) -> SweepPoint:
+    """Dump-phase throughput (MB/s) averaged over *trials* runs."""
+    values = [
+        run_checkpoint_trial(
+            impl, n_clients, n_servers, state_bytes=state_bytes, seed=base_seed + t, **kwargs
+        ).throughput_mb_s
+        for t in range(trials)
+    ]
+    return _aggregate(impl, n_clients, n_servers, values, "MB/s")
+
+
+def measure_create_point(
+    impl: str,
+    n_clients: int,
+    n_servers: int,
+    trials: int = 3,
+    creates_per_client: int = 32,
+    base_seed: int = 200,
+    **kwargs,
+) -> SweepPoint:
+    """Create-phase throughput (ops/s) averaged over *trials* runs."""
+    values = [
+        run_create_trial(
+            impl,
+            n_clients,
+            n_servers,
+            creates_per_client=creates_per_client,
+            seed=base_seed + t,
+            **kwargs,
+        ).extra["creates_per_s"]
+        for t in range(trials)
+    ]
+    return _aggregate(impl, n_clients, n_servers, values, "ops/s")

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Runs the paper's experiments from a shell without writing any code:
+
+* ``table1`` / ``table2``          — regenerate the tables,
+* ``checkpoint`` / ``create``      — a single Fig. 9 / Fig. 10 point,
+* ``fig9`` / ``fig10``             — a full panel, charted in ASCII,
+* ``petaflop``                     — the §4 closing extrapolation,
+* ``examples``                     — list the runnable example scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import (
+    FIG9_CLIENTS,
+    FIG9_SERVERS,
+    fig9_panel,
+    fig10_panel,
+    format_rows,
+    format_series_table,
+    petaflop_extrapolation,
+    run_checkpoint_trial,
+    run_create_trial,
+)
+from .bench.plot import chart_sweep
+from .units import MiB
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Lightweight I/O for Scientific Applications' (LWFS)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: MPP compute/I-O node counts")
+    sub.add_parser("table2", help="Table 2: Red Storm performance (measured)")
+
+    point = sub.add_parser("checkpoint", help="one Fig. 9 point (dump throughput)")
+    point.add_argument("--impl", default="lwfs",
+                       choices=["lwfs", "lustre-fpp", "lustre-shared"])
+    point.add_argument("--clients", type=int, default=16)
+    point.add_argument("--servers", type=int, default=8)
+    point.add_argument("--state-mb", type=int, default=32)
+    point.add_argument("--seed", type=int, default=1)
+
+    create = sub.add_parser("create", help="one Fig. 10 point (creates/s)")
+    create.add_argument("--impl", default="lwfs", choices=["lwfs", "lustre-fpp"])
+    create.add_argument("--clients", type=int, default=16)
+    create.add_argument("--servers", type=int, default=8)
+    create.add_argument("--per-client", type=int, default=32)
+    create.add_argument("--seed", type=int, default=1)
+
+    fig9 = sub.add_parser("fig9", help="one Fig. 9 panel, charted")
+    fig9.add_argument("--impl", default="lwfs",
+                      choices=["lwfs", "lustre-fpp", "lustre-shared"])
+    fig9.add_argument("--state-mb", type=int, default=32)
+    fig9.add_argument("--trials", type=int, default=1)
+    fig9.add_argument("--clients", type=int, nargs="+", default=list(FIG9_CLIENTS))
+    fig9.add_argument("--servers", type=int, nargs="+", default=list(FIG9_SERVERS))
+
+    fig10 = sub.add_parser("fig10", help="one Fig. 10 panel, charted (log y)")
+    fig10.add_argument("--impl", default="lwfs", choices=["lwfs", "lustre-fpp"])
+    fig10.add_argument("--trials", type=int, default=1)
+    fig10.add_argument("--clients", type=int, nargs="+", default=list(FIG9_CLIENTS))
+    fig10.add_argument("--servers", type=int, nargs="+", default=list(FIG9_SERVERS))
+
+    sub.add_parser("petaflop", help="§4 extrapolation to a petaflop machine")
+    sub.add_parser("examples", help="list the runnable examples")
+
+    figures = sub.add_parser(
+        "figures", help="render every saved results/*.json sweep as ASCII charts"
+    )
+    figures.add_argument("--out", default=None,
+                         help="also write the charts to this file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        from .machine import table1_rows
+
+        print(format_rows("Table 1 — Compute and I/O nodes (paper vs model)", table1_rows()))
+
+    elif args.command == "table2":
+        # Reuse the benchmark's measurement routine without pytest.
+        import importlib.util
+        import os
+
+        bench_dir = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+        spec = importlib.util.spec_from_file_location(
+            "bench_table2", os.path.join(bench_dir, "bench_table2_redstorm.py")
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.path.insert(0, bench_dir)
+        try:
+            spec.loader.exec_module(module)
+            rows = module._measure()
+        finally:
+            sys.path.remove(bench_dir)
+        print(format_rows("Table 2 — Red Storm performance (paper vs measured)", rows))
+
+    elif args.command == "checkpoint":
+        result = run_checkpoint_trial(
+            args.impl, args.clients, args.servers,
+            state_bytes=args.state_mb * MiB, seed=args.seed,
+        )
+        print(
+            f"{args.impl}: {args.clients} clients x {args.state_mb} MB over "
+            f"{args.servers} servers -> {result.throughput_mb_s:.1f} MB/s "
+            f"(max rank time {result.max_elapsed:.3f} s, "
+            f"create phase {result.create_max_elapsed * 1e3:.2f} ms)"
+        )
+
+    elif args.command == "create":
+        result = run_create_trial(
+            args.impl, args.clients, args.servers,
+            creates_per_client=args.per_client, seed=args.seed,
+        )
+        print(
+            f"{args.impl}: {args.clients} clients x {args.per_client} creates over "
+            f"{args.servers} servers -> {result.extra['creates_per_s']:.0f} creates/s"
+        )
+
+    elif args.command == "fig9":
+        points = fig9_panel(
+            args.impl,
+            clients=tuple(args.clients),
+            servers=tuple(args.servers),
+            state_bytes=args.state_mb * MiB,
+            trials=args.trials,
+        )
+        print(format_series_table(f"Figure 9 — {args.impl} checkpoint throughput", points))
+        print()
+        print(chart_sweep(points, f"Figure 9 ({args.impl})"))
+
+    elif args.command == "fig10":
+        points = fig10_panel(
+            args.impl,
+            clients=tuple(args.clients),
+            servers=tuple(args.servers),
+            trials=args.trials,
+        )
+        print(format_series_table(f"Figure 10 — {args.impl} creation throughput", points))
+        print()
+        print(chart_sweep(points, f"Figure 10 ({args.impl})", log_y=True))
+
+    elif args.command == "petaflop":
+        summary = petaflop_extrapolation().summary()
+        rows = [{"quantity": k, "value": v} for k, v in summary.items()]
+        print(format_rows("§4 — petaflop extrapolation", rows))
+        print(
+            f"\ncreating files through a centralized MDS costs "
+            f"{summary['pfs_create_time_s'] / 60:.1f} minutes — "
+            f"{summary['pfs_create_fraction']:.0%} of the checkpoint; "
+            f"distributed LWFS creates take {summary['lwfs_create_time_s']:.2f} s."
+        )
+
+    elif args.command == "figures":
+        import json
+        import os
+
+        from .bench.harness import SweepPoint
+        from .bench.report import results_dir
+
+        charts = []
+        titles = {
+            "fig9a_lustre_fpp": ("Fig 9a — Lustre, one file per process", False),
+            "fig9b_lustre_shared": ("Fig 9b — Lustre, one shared file", False),
+            "fig9c_lwfs": ("Fig 9c — LWFS, one object per process", False),
+            "fig10b_lustre_create": ("Fig 10b — Lustre file creation", True),
+            "fig10c_lwfs_create": ("Fig 10c — LWFS object creation", True),
+        }
+        for name, (title, log_y) in titles.items():
+            path = os.path.join(results_dir(), f"{name}.json")
+            if not os.path.exists(path):
+                continue
+            with open(path) as fh:
+                raw = json.load(fh)
+            points = [SweepPoint(**{k: p[k] for k in
+                                    ("impl", "n_clients", "n_servers", "mean", "stdev",
+                                     "unit", "trials")}) for p in raw]
+            charts.append(chart_sweep(points, title, log_y=log_y))
+        if not charts:
+            print("no sweep results found — run `pytest benchmarks/ --benchmark-only` first")
+            return 1
+        output = "\n\n".join(charts)
+        print(output)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(output + "\n")
+            print(f"\n(wrote {args.out})")
+
+    elif args.command == "examples":
+        import os
+
+        examples = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+        print("runnable examples (python examples/<name>):")
+        for name in sorted(os.listdir(examples)):
+            if name.endswith(".py"):
+                with open(os.path.join(examples, name)) as fh:
+                    fh.readline()
+                    summary = fh.readline().strip().strip('"')
+                print(f"  {name:30s} {summary}")
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

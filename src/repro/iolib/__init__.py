@@ -1,0 +1,36 @@
+"""I/O libraries layered above the LWFS-core (paper Figure 2).
+
+The core never imposes naming, distribution, or consistency policy; these
+libraries add exactly what their application class needs:
+
+* :mod:`repro.iolib.checkpoint` — the paper's case study (§4),
+* :mod:`repro.iolib.datamap` — application-chosen distribution policies,
+* :mod:`repro.iolib.collective` — a minimal MPI-IO-flavored collective
+  write layer (the paper's future-work §6 direction).
+"""
+
+from .checkpoint import CheckpointError, CheckpointResult, LWFSCheckpointer, PFSCheckpointer
+from .collective import LWFSCollectiveIO, ParallelFile
+from .active import FILTER_REGISTRY, attach_filter_support, register_filter, run_filter
+from .datamap import Block, DistributionPolicy, HashedPlacement, ListPlacement, RoundRobin
+from .posixfs import LWFSPosixFS, PosixFile
+
+__all__ = [
+    "CheckpointResult",
+    "CheckpointError",
+    "LWFSCollectiveIO",
+    "ParallelFile",
+    "LWFSCheckpointer",
+    "PFSCheckpointer",
+    "DistributionPolicy",
+    "RoundRobin",
+    "Block",
+    "HashedPlacement",
+    "ListPlacement",
+    "LWFSPosixFS",
+    "PosixFile",
+    "FILTER_REGISTRY",
+    "register_filter",
+    "run_filter",
+    "attach_filter_support",
+]

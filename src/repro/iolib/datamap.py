@@ -1,0 +1,75 @@
+"""Application-controlled data-distribution policies.
+
+The LWFS-core deliberately has **no** distribution policy ("Since LWFS
+does not constrain object organization, library programmers may experiment
+with data distribution and redistribution schemes that efficiently match
+the access patterns of different applications", §3.1.1).  These policies
+are the library-level piece: given a rank/index and the server count, pick
+a storage server.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+__all__ = ["DistributionPolicy", "RoundRobin", "Block", "HashedPlacement", "ListPlacement"]
+
+
+class DistributionPolicy(Protocol):
+    """Maps a work index (rank, trace number, tile id, ...) to a server."""
+
+    def place(self, index: int, n_servers: int) -> int: ...
+
+
+@dataclass(frozen=True)
+class RoundRobin:
+    """index -> index mod servers (the checkpoint default)."""
+
+    offset: int = 0
+
+    def place(self, index: int, n_servers: int) -> int:
+        if n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        return (index + self.offset) % n_servers
+
+
+@dataclass(frozen=True)
+class Block:
+    """Contiguous blocks of indices per server (locality-preserving)."""
+
+    total: int
+
+    def place(self, index: int, n_servers: int) -> int:
+        if n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        if not 0 <= index < self.total:
+            raise ValueError(f"index {index} outside 0..{self.total - 1}")
+        block = (self.total + n_servers - 1) // n_servers
+        return min(index // block, n_servers - 1)
+
+
+@dataclass(frozen=True)
+class HashedPlacement:
+    """Deterministic pseudo-random placement (decorrelates hot spots)."""
+
+    salt: int = 0
+
+    def place(self, index: int, n_servers: int) -> int:
+        if n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        return zlib.crc32(f"{self.salt}:{index}".encode()) % n_servers
+
+
+@dataclass(frozen=True)
+class ListPlacement:
+    """Fully explicit placement: the application supplies the mapping."""
+
+    mapping: Sequence[int]
+
+    def place(self, index: int, n_servers: int) -> int:
+        server = self.mapping[index % len(self.mapping)]
+        if not 0 <= server < n_servers:
+            raise ValueError(f"mapping entry {server} outside 0..{n_servers - 1}")
+        return server

@@ -1,0 +1,60 @@
+"""The LWFS-core (paper §3): security, object storage, naming, transactions.
+
+The core deliberately contains only what *every* I/O system needs —
+authentication, authorization, direct object access, data movement, and
+transaction primitives.  Naming, distribution, consistency, and caching
+policies live in layers above (:mod:`repro.iolib`), exactly as Figure 2
+prescribes.
+"""
+
+from .amortized import CostBreakdown, VerifyCostModel
+from .authn import DEFAULT_LIFETIME, AuthenticationService, ExternalAuthMechanism, MockKerberos
+from .authz import DEFAULT_CAP_LIFETIME, AuthorizationService, ContainerPolicy, VerifiedCap
+from .capabilities import Capability, OpMask, sign_capability
+from .client import LWFSClient, LWFSDomain
+from .credentials import Credential
+from .ids import ContainerID, IdFactory, ObjectID, TxnID, UserID
+from .journal import Journal, JournalRecord, RecoveryOutcome
+from .locks import Lock, LockMode, LockService
+from .naming import NameEntry, NamingService, split_path
+from .storage_svc import OP_REQUIREMENTS, StorageService, VerifyCache
+from .txn import Transaction, TxnCoordinator, TxnParticipant
+
+__all__ = [
+    "ContainerID",
+    "ObjectID",
+    "TxnID",
+    "UserID",
+    "IdFactory",
+    "Credential",
+    "ExternalAuthMechanism",
+    "MockKerberos",
+    "AuthenticationService",
+    "DEFAULT_LIFETIME",
+    "Capability",
+    "OpMask",
+    "sign_capability",
+    "AuthorizationService",
+    "ContainerPolicy",
+    "VerifiedCap",
+    "DEFAULT_CAP_LIFETIME",
+    "StorageService",
+    "VerifyCache",
+    "OP_REQUIREMENTS",
+    "NamingService",
+    "NameEntry",
+    "split_path",
+    "LockService",
+    "Lock",
+    "LockMode",
+    "Journal",
+    "JournalRecord",
+    "RecoveryOutcome",
+    "TxnCoordinator",
+    "Transaction",
+    "TxnParticipant",
+    "LWFSDomain",
+    "LWFSClient",
+    "VerifyCostModel",
+    "CostBreakdown",
+]

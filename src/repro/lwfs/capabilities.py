@@ -1,0 +1,133 @@
+"""Capabilities: proof of authorization (paper §3.1.2).
+
+A capability entitles its *holder* (capabilities are fully transferable —
+possession is authorization) to perform a set of operations on a
+**container** of objects.  It carries an HMAC signature that only the
+issuing authorization service can verify, because only that service holds
+the signing secret; this is the key divergence from NASD/T10 shared-key
+schemes the paper argues for in §3.1.2.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import hmac
+import itertools
+from dataclasses import dataclass, field
+
+from .ids import ContainerID, UserID
+
+__all__ = ["OpMask", "Capability", "sign_capability"]
+
+
+class OpMask(enum.IntFlag):
+    """Operations a capability may grant on a container's objects."""
+
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    CREATE = enum.auto()
+    REMOVE = enum.auto()
+    GETATTR = enum.auto()
+    SETATTR = enum.auto()
+    LIST = enum.auto()
+
+    # Convenience unions.
+    RW = READ | WRITE
+    ALL = READ | WRITE | CREATE | REMOVE | GETATTR | SETATTR | LIST
+
+    def describe(self) -> str:
+        if self is OpMask.NONE:
+            return "none"
+        names = [m.name.lower() for m in OpMask if m.name and m.value.bit_count() == 1 and m in self]
+        return "|".join(names)
+
+
+_cap_serials = itertools.count(1)
+
+
+def _canonical(cid: ContainerID, ops: OpMask, uid: UserID, epoch: int, serial: int, expires_at: float) -> bytes:
+    """Canonical byte encoding of the signed fields."""
+    return (
+        f"cap|cid={cid.value}|ops={int(ops)}|uid={uid.name}|epoch={epoch}"
+        f"|serial={serial}|exp={expires_at!r}"
+    ).encode("utf-8")
+
+
+def sign_capability(
+    secret: bytes,
+    cid: ContainerID,
+    ops: OpMask,
+    uid: UserID,
+    epoch: int,
+    serial: int,
+    expires_at: float,
+) -> bytes:
+    """HMAC-SHA256 over the capability's canonical encoding."""
+    return hmac.new(secret, _canonical(cid, ops, uid, epoch, serial, expires_at), hashlib.sha256).digest()
+
+
+@dataclass(frozen=True)
+class Capability:
+    """An unforgeable, transferable grant of ``ops`` on container ``cid``.
+
+    ``epoch`` ties the capability to the issuing authorization-service
+    instance ("limited in life to the current, issuing instance", §3.1.2);
+    ``serial`` makes each issued capability distinct so revocation can
+    target individual grants.  The signature can only be checked by the
+    issuer — storage servers *cache verify results* instead of holding the
+    key (§3.1.2's divergence from NASD).
+    """
+
+    cid: ContainerID
+    ops: OpMask
+    uid: UserID
+    epoch: int
+    serial: int
+    expires_at: float
+    signature: bytes = field(repr=False)
+
+    @classmethod
+    def issue(
+        cls,
+        secret: bytes,
+        cid: ContainerID,
+        ops: OpMask,
+        uid: UserID,
+        epoch: int,
+        expires_at: float,
+    ) -> "Capability":
+        serial = next(_cap_serials)
+        sig = sign_capability(secret, cid, ops, uid, epoch, serial, expires_at)
+        return cls(
+            cid=cid,
+            ops=ops,
+            uid=uid,
+            epoch=epoch,
+            serial=serial,
+            expires_at=expires_at,
+            signature=sig,
+        )
+
+    def signature_ok(self, secret: bytes) -> bool:
+        """Recompute and compare the HMAC (issuer-side check only)."""
+        expected = sign_capability(
+            secret, self.cid, self.ops, self.uid, self.epoch, self.serial, self.expires_at
+        )
+        return hmac.compare_digest(expected, self.signature)
+
+    def grants(self, ops: OpMask) -> bool:
+        """Does this capability cover every operation in *ops*?"""
+        return (self.ops & ops) == ops
+
+    @property
+    def cache_key(self) -> bytes:
+        """Key under which storage servers cache the verify result."""
+        return self.signature
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Capability {self.cid} ops={self.ops.describe()} uid={self.uid.name} "
+            f"serial={self.serial} epoch={self.epoch}>"
+        )

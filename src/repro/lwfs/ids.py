@@ -1,0 +1,74 @@
+"""Typed identifiers used across the LWFS-core.
+
+Identifiers are small frozen dataclasses (hashable, comparable, printable)
+rather than raw ints so that a container id can never be confused with an
+object id in an API call.  Factories hand out ids from per-type counters;
+the simulated deployment namespaces them per run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["ContainerID", "ObjectID", "TxnID", "UserID", "IdFactory"]
+
+
+@dataclass(frozen=True, order=True)
+class ContainerID:
+    """Unit of access control: every object belongs to one container."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"cid:{self.value}"
+
+
+@dataclass(frozen=True, order=True)
+class ObjectID:
+    """A storage object.  ``server_hint`` records the creating server so
+    higher layers can route I/O without a lookup (LWFS imposes no naming)."""
+
+    value: int
+    server_hint: int = field(default=-1, compare=False)
+
+    def __str__(self) -> str:
+        return f"oid:{self.value}@{self.server_hint}"
+
+
+@dataclass(frozen=True, order=True)
+class TxnID:
+    """A distributed transaction."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"txn:{self.value}"
+
+
+@dataclass(frozen=True, order=True)
+class UserID:
+    """An authenticated principal."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"uid:{self.name}"
+
+
+class IdFactory:
+    """Monotonic id generators, one stream per id type."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._containers = itertools.count(start)
+        self._objects = itertools.count(start)
+        self._txns = itertools.count(start)
+
+    def container(self) -> ContainerID:
+        return ContainerID(next(self._containers))
+
+    def object(self, server_hint: int = -1) -> ObjectID:
+        return ObjectID(next(self._objects), server_hint=server_hint)
+
+    def txn(self) -> TxnID:
+        return TxnID(next(self._txns))

@@ -1,0 +1,123 @@
+"""Journals: persistent transaction logs (paper §3.4).
+
+"Journals provide a mechanism to ensure atomicity and durability for
+transactions ... a journal exists as a persistent object on the storage
+system."  We implement exactly that: a :class:`Journal` appends fixed-form
+records into a storage object (via an :class:`~repro.storage.obd.ObjectStore`),
+and recovery scans the object to classify in-doubt transactions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from ..errors import TransactionError
+from ..storage.data import piece_bytes
+from ..storage.obd import ObjectStore
+from .ids import TxnID
+
+__all__ = ["JournalRecord", "Journal", "RecoveryOutcome"]
+
+#: Record kinds, in the order a healthy transaction writes them.
+KINDS = ("begin", "op", "prepare", "commit", "abort")
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journal entry.  ``payload`` must be JSON-serializable."""
+
+    txn: int  # TxnID value
+    seq: int
+    kind: str
+    payload: Optional[dict] = None
+
+    def encode(self) -> bytes:
+        body = json.dumps(
+            {"txn": self.txn, "seq": self.seq, "kind": self.kind, "payload": self.payload},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        return len(body).to_bytes(4, "big") + body
+
+    @staticmethod
+    def decode_stream(raw: bytes) -> List["JournalRecord"]:
+        records: List[JournalRecord] = []
+        pos = 0
+        while pos + 4 <= len(raw):
+            size = int.from_bytes(raw[pos : pos + 4], "big")
+            if size == 0 or pos + 4 + size > len(raw):
+                break  # torn tail write: recovery stops at the last full record
+            body = json.loads(raw[pos + 4 : pos + 4 + size].decode("utf-8"))
+            records.append(
+                JournalRecord(
+                    txn=body["txn"], seq=body["seq"], kind=body["kind"], payload=body["payload"]
+                )
+            )
+            pos += 4 + size
+        return records
+
+
+@dataclass
+class RecoveryOutcome:
+    """Classification of transactions found in a journal after a crash."""
+
+    committed: List[int]
+    aborted: List[int]
+    in_doubt: List[int]  # prepared but unresolved: ask the coordinator
+    incomplete: List[int]  # never prepared: abort
+
+
+class Journal:
+    """An append-only transaction log stored in an object."""
+
+    def __init__(self, store: ObjectStore, oid: Hashable, cid: Hashable) -> None:
+        self.store = store
+        self.oid = oid
+        if not store.exists(oid):
+            store.create(oid, cid, attrs={"journal": True})
+        self._tail = store.get_attrs(oid)["size"]
+        self._seq = 0
+        self.records_written = 0
+
+    # -- writing ----------------------------------------------------------------
+    def append(self, txn: TxnID, kind: str, payload: Optional[dict] = None) -> JournalRecord:
+        if kind not in KINDS:
+            raise TransactionError(f"unknown journal record kind {kind!r}")
+        self._seq += 1
+        record = JournalRecord(txn=txn.value, seq=self._seq, kind=kind, payload=payload)
+        blob = record.encode()
+        self.store.write(self.oid, self._tail, blob)
+        self._tail += len(blob)
+        self.records_written += 1
+        return record
+
+    @property
+    def size_bytes(self) -> int:
+        return self._tail
+
+    # -- reading ------------------------------------------------------------------
+    def scan(self) -> List[JournalRecord]:
+        raw = piece_bytes(self.store.read(self.oid, 0, self._refresh_tail()))
+        return JournalRecord.decode_stream(raw)
+
+    def _refresh_tail(self) -> int:
+        self._tail = self.store.get_attrs(self.oid)["size"]
+        return self._tail
+
+    def recover(self) -> RecoveryOutcome:
+        """Classify every transaction seen in the journal (crash recovery)."""
+        last_kind: Dict[int, str] = {}
+        for record in self.scan():
+            last_kind[record.txn] = record.kind
+        outcome = RecoveryOutcome(committed=[], aborted=[], in_doubt=[], incomplete=[])
+        for txn, kind in sorted(last_kind.items()):
+            if kind == "commit":
+                outcome.committed.append(txn)
+            elif kind == "abort":
+                outcome.aborted.append(txn)
+            elif kind == "prepare":
+                outcome.in_doubt.append(txn)
+            else:  # begin / op
+                outcome.incomplete.append(txn)
+        return outcome

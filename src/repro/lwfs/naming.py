@@ -1,0 +1,192 @@
+"""The naming service: an *optional* layer above the LWFS-core.
+
+The paper deliberately excludes naming from the core ("LWFS knows nothing
+about the organization of objects in a container; higher-level libraries
+are responsible") — but the checkpoint case study needs one to bind a
+checkpoint's metadata object to a path (Fig. 8, ``CREATENAME``), so the
+project ships a simple hierarchical namespace as a client service.
+
+The namespace maps absolute slash-separated paths to entries: directories
+or links to ``(ObjectID, server_id)`` pairs.  It participates in
+distributed transactions so a checkpoint's name appears atomically with
+its data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NameExists, NamingError, NoSuchName, TransactionError
+from .ids import ObjectID, TxnID
+
+__all__ = ["NameEntry", "NamingService", "split_path"]
+
+
+def split_path(path: str) -> List[str]:
+    """Normalize an absolute path into components."""
+    if not path.startswith("/"):
+        raise NamingError(f"path must be absolute: {path!r}")
+    parts = [p for p in path.split("/") if p]
+    if any(p in (".", "..") for p in parts):
+        raise NamingError(f"path may not contain '.' or '..': {path!r}")
+    return parts
+
+
+@dataclass
+class NameEntry:
+    """One namespace binding."""
+
+    name: str
+    is_dir: bool
+    target: Optional[Tuple[ObjectID, int]] = None  # (object, server) for links
+    children: Dict[str, "NameEntry"] = field(default_factory=dict)
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class NamingService:
+    """A hierarchical path namespace with transactional binds."""
+
+    def __init__(self) -> None:
+        self.root = NameEntry(name="/", is_dir=True)
+        self._txn_undo: Dict[TxnID, List[Tuple[str, str]]] = {}
+        self.ops = 0
+
+    # -- resolution ----------------------------------------------------------
+    def _walk(self, parts: List[str], create_dirs: bool = False) -> NameEntry:
+        node = self.root
+        for part in parts:
+            if not node.is_dir:
+                raise NamingError(f"{node.name!r} is not a directory")
+            child = node.children.get(part)
+            if child is None:
+                if not create_dirs:
+                    raise NoSuchName(f"no entry {part!r}")
+                child = NameEntry(name=part, is_dir=True)
+                node.children[part] = child
+            node = child
+        return node
+
+    def lookup(self, path: str) -> Tuple[ObjectID, int]:
+        """Resolve *path* to its (object, server) target."""
+        self.ops += 1
+        parts = split_path(path)
+        if not parts:
+            raise NamingError("cannot look up the root as an object")
+        entry = self._walk(parts)
+        if entry.is_dir or entry.target is None:
+            raise NamingError(f"{path!r} is a directory")
+        return entry.target
+
+    def exists(self, path: str) -> bool:
+        try:
+            parts = split_path(path)
+            self._walk(parts)
+            return True
+        except NoSuchName:
+            return False
+
+    def list_dir(self, path: str) -> List[str]:
+        self.ops += 1
+        entry = self._walk(split_path(path))
+        if not entry.is_dir:
+            raise NamingError(f"{path!r} is not a directory")
+        return sorted(entry.children)
+
+    # -- mutation --------------------------------------------------------------
+    def create_name(
+        self,
+        path: str,
+        target: Tuple[ObjectID, int],
+        txnid: Optional[TxnID] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Bind *path* to *target*, creating parent directories."""
+        self.ops += 1
+        parts = split_path(path)
+        if not parts:
+            raise NamingError("cannot bind the root")
+        parent = self._walk(parts[:-1], create_dirs=True)
+        if not parent.is_dir:
+            raise NamingError(f"parent of {path!r} is not a directory")
+        leaf = parts[-1]
+        if leaf in parent.children:
+            raise NameExists(f"{path!r} already bound")
+        parent.children[leaf] = NameEntry(
+            name=leaf, is_dir=False, target=target, attrs=dict(attrs or {})
+        )
+        if txnid is not None:
+            self._undo_log(txnid).append(("unbind", path))
+
+    def create_dir(self, path: str) -> None:
+        self.ops += 1
+        parts = split_path(path)
+        parent = self._walk(parts[:-1], create_dirs=True)
+        if not parent.is_dir:
+            raise NamingError(f"parent of {path!r} is not a directory")
+        leaf = parts[-1]
+        if leaf in parent.children:
+            raise NameExists(f"{path!r} already exists")
+        parent.children[leaf] = NameEntry(name=leaf, is_dir=True)
+
+    def remove_name(self, path: str) -> None:
+        self.ops += 1
+        parts = split_path(path)
+        if not parts:
+            raise NamingError("cannot remove the root")
+        parent = self._walk(parts[:-1])
+        leaf = parts[-1]
+        entry = parent.children.get(leaf)
+        if entry is None:
+            raise NoSuchName(f"no entry {path!r}")
+        if entry.is_dir and entry.children:
+            raise NamingError(f"directory {path!r} is not empty")
+        del parent.children[leaf]
+
+    def rename(self, old: str, new: str) -> None:
+        self.ops += 1
+        old_parts = split_path(old)
+        new_parts = split_path(new)
+        if not old_parts or not new_parts:
+            raise NamingError("cannot rename the root")
+        old_parent = self._walk(old_parts[:-1])
+        entry = old_parent.children.get(old_parts[-1])
+        if entry is None:
+            raise NoSuchName(f"no entry {old!r}")
+        new_parent = self._walk(new_parts[:-1], create_dirs=True)
+        if new_parts[-1] in new_parent.children:
+            raise NameExists(f"{new!r} already bound")
+        del old_parent.children[old_parts[-1]]
+        entry.name = new_parts[-1]
+        new_parent.children[new_parts[-1]] = entry
+
+    # -- transaction participation -------------------------------------------------
+    def txn_begin(self, txnid: TxnID) -> None:
+        """Join a distributed transaction (idempotent, like the servers)."""
+        if txnid not in self._txn_undo:
+            self._txn_undo[txnid] = []
+
+    def txn_prepare(self, txnid: TxnID) -> bool:
+        if txnid not in self._txn_undo:
+            raise TransactionError(f"unknown {txnid} on naming service")
+        return True
+
+    def txn_commit(self, txnid: TxnID) -> None:
+        self._txn_undo.pop(txnid, None)
+
+    def txn_abort(self, txnid: TxnID) -> None:
+        undo = self._txn_undo.pop(txnid, None)
+        if undo is None:
+            return
+        for action, path in reversed(undo):
+            if action == "unbind":
+                try:
+                    self.remove_name(path)
+                except NoSuchName:
+                    pass
+
+    def _undo_log(self, txnid: TxnID) -> List[Tuple[str, str]]:
+        try:
+            return self._txn_undo[txnid]
+        except KeyError:
+            raise TransactionError(f"unknown {txnid} on naming service") from None

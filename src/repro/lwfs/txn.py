@@ -1,0 +1,135 @@
+"""Distributed transactions: the two-phase commit protocol of §3.4.
+
+"A two-phase commit protocol (part of the LWFS API) helps the client to
+preserve the atomicity property because it requires all participating
+servers to agree on the final state of the system before changes become
+permanent."
+
+The :class:`TxnCoordinator` drives participants implementing the small
+:class:`TxnParticipant` protocol (``txn_begin/prepare/commit/abort``) —
+which :class:`~repro.lwfs.storage_svc.StorageService` and
+:class:`~repro.lwfs.naming.NamingService` both do — and journals its own
+decisions so recovery can resolve in-doubt participants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, runtime_checkable
+
+from ..errors import TransactionAborted, TransactionError
+from .ids import IdFactory, TxnID
+from .journal import Journal
+
+__all__ = ["TxnParticipant", "Transaction", "TxnCoordinator"]
+
+
+@runtime_checkable
+class TxnParticipant(Protocol):
+    """What a service must implement to join a distributed transaction."""
+
+    def txn_begin(self, txnid: TxnID) -> None: ...
+
+    def txn_prepare(self, txnid: TxnID) -> bool: ...
+
+    def txn_commit(self, txnid: TxnID) -> None: ...
+
+    def txn_abort(self, txnid: TxnID) -> None: ...
+
+
+@dataclass
+class Transaction:
+    """Coordinator-side view of one distributed transaction."""
+
+    txnid: TxnID
+    participants: List[TxnParticipant] = field(default_factory=list)
+    status: str = "active"  # active -> preparing -> committed | aborted
+
+    def joined(self, participant: TxnParticipant) -> bool:
+        return any(p is participant for p in self.participants)
+
+
+class TxnCoordinator:
+    """Client-side two-phase-commit driver.
+
+    Synchronous (functional) version; the simulated deployment mirrors the
+    same phases over RPC in :mod:`repro.sim.client`.
+    """
+
+    def __init__(self, ids: Optional[IdFactory] = None, journal: Optional[Journal] = None) -> None:
+        self.ids = ids or IdFactory()
+        self.journal = journal
+        self._txns: Dict[TxnID, Transaction] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    def begin(self) -> TxnID:
+        txnid = self.ids.txn()
+        self._txns[txnid] = Transaction(txnid=txnid)
+        self._log(txnid, "begin")
+        return txnid
+
+    def join(self, txnid: TxnID, participant: TxnParticipant) -> None:
+        """Enroll *participant*; begins the txn on it exactly once."""
+        txn = self._get(txnid)
+        if txn.status != "active":
+            raise TransactionError(f"{txnid} is {txn.status}; cannot join")
+        if not txn.joined(participant):
+            participant.txn_begin(txnid)
+            txn.participants.append(participant)
+
+    def end(self, txnid: TxnID) -> None:
+        """Run two-phase commit; raises TransactionAborted on any veto."""
+        txn = self._get(txnid)
+        if txn.status != "active":
+            raise TransactionError(f"{txnid} is {txn.status}; cannot commit")
+        txn.status = "preparing"
+        self._log(txnid, "prepare")
+
+        votes: List[bool] = []
+        failed = False
+        for participant in txn.participants:
+            try:
+                votes.append(bool(participant.txn_prepare(txnid)))
+            except Exception:  # a dead or broken participant is a NO vote
+                votes.append(False)
+                failed = True
+        if failed or not all(votes):
+            self._abort(txn)
+            raise TransactionAborted(f"{txnid}: participant vetoed prepare")
+
+        self._log(txnid, "commit")
+        for participant in txn.participants:
+            participant.txn_commit(txnid)
+        txn.status = "committed"
+        del self._txns[txnid]
+
+    def abort(self, txnid: TxnID) -> None:
+        """Explicit rollback."""
+        txn = self._get(txnid)
+        if txn.status not in ("active", "preparing"):
+            raise TransactionError(f"{txnid} is {txn.status}; cannot abort")
+        self._abort(txn)
+
+    def active(self, txnid: TxnID) -> bool:
+        return txnid in self._txns
+
+    # -- internals -------------------------------------------------------------
+    def _abort(self, txn: Transaction) -> None:
+        self._log(txn.txnid, "abort")
+        for participant in txn.participants:
+            try:
+                participant.txn_abort(txn.txnid)
+            except Exception:  # noqa: BLE001 - best-effort rollback
+                pass
+        txn.status = "aborted"
+        self._txns.pop(txn.txnid, None)
+
+    def _get(self, txnid: TxnID) -> Transaction:
+        try:
+            return self._txns[txnid]
+        except KeyError:
+            raise TransactionError(f"unknown transaction {txnid}") from None
+
+    def _log(self, txnid: TxnID, kind: str) -> None:
+        if self.journal is not None:
+            self.journal.append(txnid, kind)

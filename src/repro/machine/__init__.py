@@ -1,0 +1,42 @@
+"""Partitioned-architecture machine models (paper §2.1, Tables 1-2)."""
+
+from .node import Node
+from .presets import (
+    PRESETS,
+    TABLE1_PAPER,
+    TABLE2_PAPER,
+    asci_red,
+    bluegene_l,
+    dev_cluster,
+    intel_paragon,
+    petaflop,
+    red_storm,
+    table1_rows,
+)
+from .spec import CPUSpec, MachineSpec, NICSpec, NodeKind, NodeSpec, OSKind, StorageSpec
+from .topology import Crossbar, Mesh3D, Topology, make_topology
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "OSKind",
+    "NICSpec",
+    "CPUSpec",
+    "StorageSpec",
+    "NodeSpec",
+    "MachineSpec",
+    "Topology",
+    "Crossbar",
+    "Mesh3D",
+    "make_topology",
+    "dev_cluster",
+    "red_storm",
+    "bluegene_l",
+    "asci_red",
+    "intel_paragon",
+    "petaflop",
+    "table1_rows",
+    "TABLE1_PAPER",
+    "TABLE2_PAPER",
+    "PRESETS",
+]

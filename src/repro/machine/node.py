@@ -1,0 +1,84 @@
+"""Runtime node objects instantiated from a :class:`MachineSpec`."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import NodeFailure
+from ..simkernel import Environment, Resource
+from .spec import NodeKind, NodeSpec, OSKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..network.nic import NIC
+    from ..storage.device import RaidDevice
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A single node of the simulated machine.
+
+    A node owns a CPU (modeled as a multi-slot resource charged for
+    protocol processing), a NIC (attached by the fabric), and optionally a
+    storage device (I/O nodes).  Nodes can be *killed* for failure-injection
+    experiments; a dead node's NIC drops traffic and its servers stop.
+    """
+
+    def __init__(self, env: Environment, node_id: int, spec: NodeSpec, name: str = "") -> None:
+        self.env = env
+        self.node_id = node_id
+        self.spec = spec
+        self.name = name or f"{spec.kind.value}{node_id}"
+        self.cpu = Resource(env, capacity=spec.cpu.cores)
+        self.alive = True
+        self.nic: Optional["NIC"] = None  # attached by the Fabric
+        self.storage: Optional["RaidDevice"] = None  # attached by deployment
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def kind(self) -> NodeKind:
+        return self.spec.kind
+
+    @property
+    def is_lightweight(self) -> bool:
+        return self.spec.os is OSKind.LIGHTWEIGHT
+
+    def check_alive(self) -> None:
+        if not self.alive:
+            raise NodeFailure(f"node {self.name} is down")
+
+    def kill(self) -> None:
+        """Fail the node (failure injection): traffic drops immediately."""
+        self.alive = False
+
+    def revive(self) -> None:
+        """Bring the node back (reboot).  In-memory runtime state is the
+        caller's responsibility to recover (see SimStorageServer.reboot)."""
+        self.alive = True
+
+    def compute(self, duration: float):
+        """Occupy one CPU core for *duration* seconds (a generator).
+
+        Usage inside a process::
+
+            yield from node.compute(cost)
+        """
+        if duration <= 0:
+            return
+        with self.cpu.request() as req:
+            yield req
+            yield self.env.timeout(duration)
+
+    def msg_overhead_time(self) -> float:
+        """Host CPU time to process one message send/receive."""
+        return self.spec.cpu.msg_overhead
+
+    def copy_overhead_time(self, nbytes: int) -> float:
+        """Host CPU time for copying *nbytes* (zero on RDMA-capable NICs)."""
+        if self.spec.nic.rdma:
+            return 0.0
+        return nbytes * self.spec.cpu.byte_overhead
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        status = "up" if self.alive else "DOWN"
+        return f"<Node {self.name} ({self.spec.kind.value}, {status})>"

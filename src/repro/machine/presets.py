@@ -1,0 +1,290 @@
+"""Machine presets for the systems named in the paper.
+
+Table 1 (compute/I/O node counts) and Table 2 (Red Storm performance) are
+encoded here, along with the 40-node I/O development cluster the paper's
+experiments ran on (§4) and the "theoretical petaflop system" used for the
+closing extrapolation.
+
+Calibration note (dev cluster): the paper reports peak checkpoint
+throughput of ~1.4-1.5 GB/s with 16 servers, which implies ~90 MB/s of
+sustained RAID bandwidth behind each Lustre OST / LWFS storage server; the
+Myrinet NICs of that era sustain ~230 MB/s point-to-point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..units import GiB, MiB, USEC
+from .spec import CPUSpec, MachineSpec, NICSpec, NodeKind, NodeSpec, OSKind, StorageSpec
+
+__all__ = [
+    "dev_cluster",
+    "red_storm",
+    "bluegene_l",
+    "asci_red",
+    "intel_paragon",
+    "petaflop",
+    "TABLE1_PAPER",
+    "TABLE2_PAPER",
+    "table1_rows",
+    "PRESETS",
+]
+
+
+#: Table 1 of the paper, verbatim: machine -> (compute nodes, I/O nodes, ratio).
+TABLE1_PAPER: Dict[str, tuple] = {
+    "SNL Intel Paragon (1990s)": (1840, 32, 58),
+    "ASCI Red (1990s)": (4510, 73, 62),
+    "Cray Red Storm (2004)": (10368, 256, 41),
+    "BlueGene/L (2005)": (65536, 1024, 64),
+}
+
+#: Table 2 of the paper (Red Storm communication and I/O performance).
+TABLE2_PAPER: Dict[str, object] = {
+    "io_node_topology": "8x16 mesh (per end)",
+    "aggregate_io_bw_bytes": 50 * GiB,
+    "io_node_raid_bw_bytes": 400 * MiB,
+    "mpi_latency_1hop_s": 2.0 * USEC,
+    "mpi_latency_max_s": 5.0 * USEC,
+    "link_bw_bytes": 6 * GiB,
+}
+
+
+def _lightweight_cpu() -> CPUSpec:
+    return CPUSpec(cores=2, msg_overhead=0.5 * USEC)
+
+
+def _linux_cpu() -> CPUSpec:
+    return CPUSpec(cores=2, msg_overhead=4.0 * USEC)
+
+
+def dev_cluster(
+    storage_bw: float = 92 * MiB,
+    nic_bw: float = 230 * MiB,
+    nic_latency: float = 7 * USEC,
+) -> MachineSpec:
+    """The 40-node Sandia I/O development cluster of §4.
+
+    2-way 2.0 GHz Opteron nodes on Myrinet: 31 compute nodes, 8 storage
+    nodes (each hosting up to two OSTs / LWFS storage servers, each server
+    backed by its own fibre-channel RAID volume), and 1 combined
+    metadata/authorization node.
+    """
+    nic = NICSpec(bandwidth=nic_bw, latency=nic_latency, rdma=True)
+    return MachineSpec(
+        name="dev-cluster",
+        compute_nodes=31,
+        io_nodes=8,
+        service_nodes=1,
+        compute_spec=NodeSpec(NodeKind.COMPUTE, OSKind.LINUX, nic, _linux_cpu()),
+        io_spec=NodeSpec(
+            NodeKind.IO,
+            OSKind.LINUX,
+            nic,
+            _linux_cpu(),
+            storage=StorageSpec(
+                bandwidth=storage_bw,
+                seek_time=4e-3,
+                sync_time=3e-3,
+                meta_op_time=240e-6,
+                capacity=512 * GiB,
+            ),
+        ),
+        service_spec=NodeSpec(
+            NodeKind.SERVICE,
+            OSKind.LINUX,
+            nic,
+            _linux_cpu(),
+            storage=StorageSpec(
+                bandwidth=60 * MiB, seek_time=4e-3, sync_time=3e-3, meta_op_time=700e-6
+            ),
+        ),
+        topology="crossbar",
+        notes="40x 2-way 2.0GHz Opteron, Myrinet; Lustre OSTs on LSI MetaStor FC RAID",
+    )
+
+
+def red_storm() -> MachineSpec:
+    """Cray Red Storm / XT3 at Sandia (Tables 1 and 2)."""
+    nic = NICSpec(bandwidth=6 * GiB, latency=2.0 * USEC, rdma=True)
+    return MachineSpec(
+        name="red-storm",
+        compute_nodes=10368,
+        io_nodes=256,
+        service_nodes=16,
+        compute_spec=NodeSpec(NodeKind.COMPUTE, OSKind.LIGHTWEIGHT, nic, _lightweight_cpu()),
+        io_spec=NodeSpec(
+            NodeKind.IO,
+            OSKind.LINUX,
+            nic,
+            _linux_cpu(),
+            storage=StorageSpec(bandwidth=400 * MiB, seek_time=4e-3, sync_time=3e-3),
+        ),
+        service_spec=NodeSpec(
+            NodeKind.SERVICE,
+            OSKind.LINUX,
+            nic,
+            _linux_cpu(),
+            storage=StorageSpec(bandwidth=120 * MiB, meta_op_time=700e-6),
+        ),
+        hop_latency=0.05 * USEC,
+        topology="mesh3d",
+        notes="Catamount lightweight kernel on compute; Table 2 performance",
+    )
+
+
+def bluegene_l() -> MachineSpec:
+    """IBM BlueGene/L at LLNL (Table 1)."""
+    nic = NICSpec(bandwidth=350 * MiB, latency=5.0 * USEC, rdma=True)
+    return MachineSpec(
+        name="bluegene-l",
+        compute_nodes=65536,
+        io_nodes=1024,
+        service_nodes=32,
+        compute_spec=NodeSpec(NodeKind.COMPUTE, OSKind.LIGHTWEIGHT, nic, _lightweight_cpu()),
+        io_spec=NodeSpec(
+            NodeKind.IO,
+            OSKind.LINUX,
+            nic,
+            _linux_cpu(),
+            storage=StorageSpec(bandwidth=250 * MiB),
+        ),
+        service_spec=NodeSpec(
+            NodeKind.SERVICE,
+            OSKind.LINUX,
+            nic,
+            _linux_cpu(),
+            storage=StorageSpec(bandwidth=120 * MiB, meta_op_time=700e-6),
+        ),
+        hop_latency=0.1 * USEC,
+        topology="mesh3d",
+        notes="CNK lightweight kernel on compute nodes",
+    )
+
+
+def asci_red() -> MachineSpec:
+    """ASCI Red (Table 1; 1990s-era parameters)."""
+    nic = NICSpec(bandwidth=310 * MiB, latency=15 * USEC, rdma=True)
+    return MachineSpec(
+        name="asci-red",
+        compute_nodes=4510,
+        io_nodes=73,
+        service_nodes=8,
+        compute_spec=NodeSpec(NodeKind.COMPUTE, OSKind.LIGHTWEIGHT, nic, _lightweight_cpu()),
+        io_spec=NodeSpec(
+            NodeKind.IO,
+            OSKind.LINUX,
+            nic,
+            _linux_cpu(),
+            storage=StorageSpec(bandwidth=40 * MiB, seek_time=8e-3),
+        ),
+        service_spec=NodeSpec(
+            NodeKind.SERVICE,
+            OSKind.LINUX,
+            nic,
+            _linux_cpu(),
+            storage=StorageSpec(bandwidth=120 * MiB, meta_op_time=700e-6),
+        ),
+        hop_latency=0.2 * USEC,
+        topology="mesh3d",
+        notes="PUMA/Cougar lightweight kernel heritage",
+    )
+
+
+def intel_paragon() -> MachineSpec:
+    """SNL Intel Paragon (Table 1; 1990s-era parameters)."""
+    nic = NICSpec(bandwidth=175 * MiB, latency=30 * USEC, rdma=False)
+    return MachineSpec(
+        name="intel-paragon",
+        compute_nodes=1840,
+        io_nodes=32,
+        service_nodes=4,
+        compute_spec=NodeSpec(
+            NodeKind.COMPUTE,
+            OSKind.LIGHTWEIGHT,
+            nic,
+            CPUSpec(cores=1, msg_overhead=2 * USEC, byte_overhead=2e-9),
+        ),
+        io_spec=NodeSpec(
+            NodeKind.IO,
+            OSKind.LINUX,
+            nic,
+            CPUSpec(cores=1, msg_overhead=10 * USEC, byte_overhead=2e-9),
+            storage=StorageSpec(bandwidth=8 * MiB, seek_time=12e-3),
+        ),
+        service_spec=NodeSpec(
+            NodeKind.SERVICE,
+            OSKind.LINUX,
+            nic,
+            CPUSpec(cores=1, msg_overhead=10 * USEC, byte_overhead=2e-9),
+            storage=StorageSpec(bandwidth=30 * MiB, meta_op_time=2e-3),
+        ),
+        hop_latency=0.3 * USEC,
+        topology="mesh3d",
+        notes="SUNMOS lightweight kernel era; no RDMA",
+    )
+
+
+def petaflop() -> MachineSpec:
+    """The paper's closing thought experiment: 100k compute, 2k I/O nodes."""
+    nic = NICSpec(bandwidth=8 * GiB, latency=1.5 * USEC, rdma=True)
+    return MachineSpec(
+        name="petaflop",
+        compute_nodes=100_000,
+        io_nodes=2_000,
+        service_nodes=64,
+        compute_spec=NodeSpec(NodeKind.COMPUTE, OSKind.LIGHTWEIGHT, nic, _lightweight_cpu()),
+        io_spec=NodeSpec(
+            NodeKind.IO,
+            OSKind.LINUX,
+            nic,
+            _linux_cpu(),
+            storage=StorageSpec(bandwidth=500 * MiB),
+        ),
+        service_spec=NodeSpec(
+            NodeKind.SERVICE,
+            OSKind.LINUX,
+            nic,
+            _linux_cpu(),
+            storage=StorageSpec(bandwidth=120 * MiB, meta_op_time=700e-6),
+        ),
+        hop_latency=0.05 * USEC,
+        topology="mesh3d",
+        notes="hypothetical system from the end of §4",
+    )
+
+
+PRESETS = {
+    "dev-cluster": dev_cluster,
+    "red-storm": red_storm,
+    "bluegene-l": bluegene_l,
+    "asci-red": asci_red,
+    "intel-paragon": intel_paragon,
+    "petaflop": petaflop,
+}
+
+
+def table1_rows() -> List[dict]:
+    """Reproduce Table 1 from the presets, alongside the paper's numbers."""
+    mapping = {
+        "SNL Intel Paragon (1990s)": intel_paragon(),
+        "ASCI Red (1990s)": asci_red(),
+        "Cray Red Storm (2004)": red_storm(),
+        "BlueGene/L (2005)": bluegene_l(),
+    }
+    rows = []
+    for label, (paper_compute, paper_io, paper_ratio) in TABLE1_PAPER.items():
+        spec = mapping[label]
+        rows.append(
+            {
+                "machine": label,
+                "paper_compute": paper_compute,
+                "paper_io": paper_io,
+                "paper_ratio": paper_ratio,
+                "model_compute": spec.compute_nodes,
+                "model_io": spec.io_nodes,
+                "model_ratio": round(spec.compute_io_ratio),
+            }
+        )
+    return rows

@@ -1,0 +1,177 @@
+"""Declarative machine specifications for the partitioned architecture.
+
+The paper's target machines (Red Storm, BlueGene/L, the Sandia I/O
+development cluster) all follow the *partitioned architecture* of Figure 1:
+a large compute partition running a lightweight kernel, a much smaller I/O
+partition running a heavyweight OS, and a handful of service nodes.  A
+:class:`MachineSpec` captures the node counts and per-node-kind performance
+characteristics; :mod:`repro.machine.presets` instantiates the specs for the
+machines in Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..units import MiB, USEC
+
+__all__ = ["NodeKind", "OSKind", "NICSpec", "CPUSpec", "StorageSpec", "NodeSpec", "MachineSpec"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the partitioned architecture (Figure 1)."""
+
+    COMPUTE = "compute"
+    IO = "io"
+    SERVICE = "service"
+
+
+class OSKind(enum.Enum):
+    """Operating system class; determines per-message host overheads.
+
+    Lightweight kernels (Catamount, CNK) have no multitasking or demand
+    paging, so their per-message CPU cost is far below a general-purpose
+    kernel's.
+    """
+
+    LIGHTWEIGHT = "lightweight"
+    LINUX = "linux"
+
+
+@dataclass(frozen=True)
+class NICSpec:
+    """Network-interface characteristics.
+
+    ``bandwidth`` is the serialization rate of the link attached to the NIC
+    (bytes/s, per direction); ``latency`` is the one-hop wire latency in
+    seconds.  ``rdma`` marks NICs capable of remote DMA with OS bypass
+    (Portals on Myrinet / SeaStar), which removes the host-CPU copy cost
+    from bulk transfers.
+    """
+
+    bandwidth: float
+    latency: float
+    rdma: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("NIC bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("NIC latency cannot be negative")
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Host-CPU costs for protocol processing.
+
+    ``msg_overhead`` — CPU time consumed to send or receive one message
+    (header processing, matching); the lightweight kernel's figure is small.
+    ``byte_overhead`` — per-byte CPU cost for non-RDMA transfers (memory
+    copies); zero when the NIC does RDMA.
+    """
+
+    cores: int = 2
+    msg_overhead: float = 1.0 * USEC
+    byte_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Timing model of a node-attached RAID volume.
+
+    ``bandwidth`` — sustained streaming rate in bytes/s.
+    ``seek_time`` — fixed positioning cost charged per non-sequential request.
+    ``sync_time`` — cost of flushing the write-back cache (fsync).
+    ``meta_op_time`` — cost of a metadata-touching device op (object create,
+    remove, attribute update) including its journal write.
+    ``capacity`` — usable bytes.
+    """
+
+    bandwidth: float
+    seek_time: float = 5e-3
+    sync_time: float = 4e-3
+    meta_op_time: float = 150e-6
+    capacity: int = 256 * 1024 * MiB
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("storage bandwidth must be positive")
+        if self.capacity <= 0:
+            raise ValueError("storage capacity must be positive")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Everything needed to instantiate one node of a given kind."""
+
+    kind: NodeKind
+    os: OSKind
+    nic: NICSpec
+    cpu: CPUSpec = field(default_factory=CPUSpec)
+    storage: Optional[StorageSpec] = None
+
+    def with_storage(self, storage: StorageSpec) -> "NodeSpec":
+        return replace(self, storage=storage)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A full machine: node counts per kind plus the per-kind specs.
+
+    ``hop_latency`` adds per-hop wire delay for mesh topologies; the
+    :class:`~repro.machine.topology.Topology` decides hop counts.
+    """
+
+    name: str
+    compute_nodes: int
+    io_nodes: int
+    service_nodes: int
+    compute_spec: NodeSpec
+    io_spec: NodeSpec
+    service_spec: NodeSpec
+    hop_latency: float = 0.0
+    topology: str = "crossbar"
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        for label, count in (
+            ("compute_nodes", self.compute_nodes),
+            ("io_nodes", self.io_nodes),
+            ("service_nodes", self.service_nodes),
+        ):
+            if count < 0:
+                raise ValueError(f"{label} cannot be negative")
+
+    @property
+    def total_nodes(self) -> int:
+        return self.compute_nodes + self.io_nodes + self.service_nodes
+
+    @property
+    def compute_io_ratio(self) -> float:
+        """The compute:I/O node ratio reported in Table 1."""
+        if self.io_nodes == 0:
+            return float("inf")
+        return self.compute_nodes / self.io_nodes
+
+    def spec_for(self, kind: NodeKind) -> NodeSpec:
+        return {
+            NodeKind.COMPUTE: self.compute_spec,
+            NodeKind.IO: self.io_spec,
+            NodeKind.SERVICE: self.service_spec,
+        }[kind]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "compute_nodes": self.compute_nodes,
+            "io_nodes": self.io_nodes,
+            "service_nodes": self.service_nodes,
+            "ratio": self.compute_io_ratio,
+            "topology": self.topology,
+        }

@@ -1,0 +1,46 @@
+"""Simulated interconnect: links, NICs, fabric, portals, and RPC."""
+
+from .fabric import Fabric, Message
+from .link import Pipe
+from .nic import NIC
+from .portals import (
+    MatchEntry,
+    MemoryDescriptor,
+    PortalsEndpoint,
+    PortalTable,
+    PtlEvent,
+    PtlEventKind,
+    install_portals,
+)
+from .rpc import (
+    REPLY_PORTAL,
+    REQUEST_PORTAL,
+    RpcClient,
+    RpcContext,
+    RpcReply,
+    RpcRequest,
+    RpcService,
+    service_key,
+)
+
+__all__ = [
+    "Pipe",
+    "NIC",
+    "Fabric",
+    "Message",
+    "PtlEvent",
+    "PtlEventKind",
+    "MemoryDescriptor",
+    "MatchEntry",
+    "PortalTable",
+    "PortalsEndpoint",
+    "install_portals",
+    "RpcRequest",
+    "RpcReply",
+    "RpcContext",
+    "RpcService",
+    "RpcClient",
+    "service_key",
+    "REQUEST_PORTAL",
+    "REPLY_PORTAL",
+]

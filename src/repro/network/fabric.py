@@ -1,0 +1,165 @@
+"""The interconnect fabric: message delivery between nodes.
+
+A transfer from node A to node B:
+
+1. pays A's per-message host overhead (small on lightweight kernels),
+2. holds A's transmit pipe and B's receive pipe for ``size / min(bw)``
+   (store-and-forward is not modeled; the slower endpoint governs),
+3. experiences wire latency (base + per-hop for mesh topologies),
+4. pays B's per-message host overhead, then delivers.
+
+Transfers to a dead node fail with :class:`~repro.errors.NodeFailure`,
+which is how failure-injection experiments observe lost servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import NetworkError, NodeFailure
+from ..machine.node import Node
+from ..machine.topology import Topology, make_topology
+from ..simkernel import Counter, Environment, Event
+from .nic import NIC
+
+__all__ = ["Message", "Fabric"]
+
+
+@dataclass
+class Message:
+    """An in-flight message.  ``payload`` rides by reference (simulation)."""
+
+    src: int
+    dst: int
+    size: int
+    tag: str = ""
+    payload: Any = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class Fabric:
+    """Connects :class:`~repro.machine.node.Node` objects into a network."""
+
+    #: Wire size charged for zero-byte control messages (headers).
+    MIN_WIRE_BYTES = 64
+
+    #: Messages at or below this size use the control virtual channel and
+    #: never queue behind bulk transfers (packet-level multiplexing).
+    CONTROL_LANE_MAX = 4096
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: str = "crossbar",
+        hop_latency: float = 0.0,
+        n_nodes_hint: Optional[int] = None,
+    ) -> None:
+        self.env = env
+        self._topology_name = topology
+        self.hop_latency = hop_latency
+        self._nodes: Dict[int, Node] = {}
+        self._topology: Optional[Topology] = None
+        self._n_nodes_hint = n_nodes_hint
+        self.counters = Counter()
+
+    # -- membership ---------------------------------------------------------
+    def attach(self, node: Node) -> NIC:
+        """Attach *node* to the fabric, creating and installing its NIC."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"node id {node.node_id} already attached")
+        nic = NIC(self.env, node)
+        node.nic = nic
+        self._nodes[node.node_id] = node
+        self._topology = None  # re-derive lazily for the new size
+        return nic
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node id {node_id}") from None
+
+    @property
+    def topology(self) -> Topology:
+        if self._topology is None:
+            size = self._n_nodes_hint or (max(self._nodes) + 1 if self._nodes else 1)
+            self._topology = make_topology(self._topology_name, size)
+        return self._topology
+
+    # -- latency model --------------------------------------------------------
+    def wire_latency(self, src: int, dst: int) -> float:
+        """Propagation latency between two attached nodes."""
+        if src == dst:
+            return 0.0
+        hops = self.topology.hops(src, dst)
+        base = self._nodes[src].spec.nic.latency
+        return base + self.hop_latency * max(0, hops - 1)
+
+    # -- transfer ---------------------------------------------------------------
+    def transfer(self, msg: Message) -> Event:
+        """Move *msg* across the fabric; the event fires at delivery.
+
+        The event's value is the message itself; it fails with
+        :class:`NodeFailure` if either endpoint dies before delivery.
+        """
+        return self.env.process(self._transfer_proc(msg), name=f"xfer:{msg.tag}")
+
+    def _transfer_proc(self, msg: Message):
+        env = self.env
+        src = self.node(msg.src)
+        dst = self.node(msg.dst)
+        src.check_alive()
+
+        wire_bytes = max(int(msg.size), self.MIN_WIRE_BYTES)
+
+        # Sender host overhead (header build, matching; copies if no RDMA).
+        send_cost = src.msg_overhead_time() + src.copy_overhead_time(wire_bytes)
+        if send_cost > 0:
+            yield env.timeout(send_cost)
+
+        # Same-node delivery: memory copy only, no NIC serialization.
+        if msg.src != msg.dst:
+            control = wire_bytes <= self.CONTROL_LANE_MAX
+            tx_pipe = src.nic.ctl_tx if control else src.nic.tx
+            rx_pipe = dst.nic.ctl_rx if control else dst.nic.rx
+            rate = min(tx_pipe.bandwidth, rx_pipe.bandwidth)
+            # Hold both endpoint pipes for the serialization time so that
+            # contention at either end throttles the transfer.
+            with tx_pipe._slot.request() as tx_req:
+                yield tx_req
+                with rx_pipe._slot.request() as rx_req:
+                    yield rx_req
+                    duration = wire_bytes / rate
+                    start = env.now
+                    yield env.timeout(duration)
+                    for pipe in (tx_pipe, rx_pipe):
+                        pipe.bytes_moved += wire_bytes
+                        pipe.busy_time += env.now - start
+
+            yield env.timeout(self.wire_latency(msg.src, msg.dst))
+        else:
+            yield env.timeout(wire_bytes / (4 * src.nic.tx.bandwidth))
+
+        if not dst.alive:
+            raise NodeFailure(f"node {dst.name} died before delivery of {msg.tag!r}")
+
+        recv_cost = dst.msg_overhead_time() + dst.copy_overhead_time(wire_bytes)
+        if recv_cost > 0:
+            yield env.timeout(recv_cost)
+
+        self.counters.incr("messages")
+        self.counters.incr("bytes", wire_bytes)
+        return msg
+
+    # -- convenience ----------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        tag: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Shorthand for :meth:`transfer` with a fresh :class:`Message`."""
+        return self.transfer(Message(src=src, dst=dst, size=size, tag=tag, payload=payload))

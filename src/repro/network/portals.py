@@ -1,0 +1,294 @@
+"""A simplified Portals 3.0-style one-sided messaging API (paper §3.2).
+
+Portals is the zero-copy, one-sided messaging layer of Red Storm; LWFS uses
+it for server-directed bulk movement: the client exposes a memory region
+via a *match entry* on one of its *portals*, and the **server** issues a
+``get`` (for writes) or ``put`` (for reads) against it when — and only
+when — it has buffer space and disk bandwidth available.
+
+Implemented subset:
+
+* per-node portal tables indexed by portal number,
+* match entries with (match_bits, ignore_bits) matching and optional
+  use-once semantics,
+* memory descriptors carrying a Python payload by reference plus a
+  declared length (the simulated wire cost),
+* event queues delivering ``PUT_END`` / ``GET_END`` / ``REPLY_END``
+  events as :class:`~repro.simkernel.resources.Store` items.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import NetworkError
+from ..machine.node import Node
+from ..simkernel import Environment, Event, Store
+from .fabric import Fabric, Message
+
+__all__ = [
+    "PtlEventKind",
+    "PtlEvent",
+    "MemoryDescriptor",
+    "MatchEntry",
+    "PortalTable",
+    "PortalsEndpoint",
+]
+
+
+class PtlEventKind(enum.Enum):
+    PUT_END = "put_end"  # a remote put landed in a local match entry
+    GET_END = "get_end"  # a remote get drained a local match entry
+    SEND_END = "send_end"  # local put hit the wire (initiator side)
+    REPLY_END = "reply_end"  # data for a local get arrived (initiator side)
+
+
+@dataclass
+class PtlEvent:
+    """An entry on a portals event queue."""
+
+    kind: PtlEventKind
+    initiator: int  # node id of the peer that caused the event
+    match_bits: int
+    length: int
+    payload: Any = None
+    hdr_data: Any = None
+    offset: int = 0
+
+
+@dataclass
+class MemoryDescriptor:
+    """A registered memory region.
+
+    ``payload`` is the Python object standing in for the buffer contents
+    (bytes, numpy array, or any picklable value).  ``length`` is the size in
+    bytes charged on the wire.
+    """
+
+    length: int
+    payload: Any = None
+    eq: Optional[Store] = None
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError("length cannot be negative")
+
+
+@dataclass
+class MatchEntry:
+    """A match-list entry hanging off a portal."""
+
+    match_bits: int
+    md: MemoryDescriptor
+    ignore_bits: int = 0
+    use_once: bool = False
+    unlinked: bool = False
+    _id: int = field(default_factory=itertools.count().__next__)
+
+    def matches(self, bits: int) -> bool:
+        if self.unlinked:
+            return False
+        mask = ~self.ignore_bits
+        return (self.match_bits & mask) == (bits & mask)
+
+
+class PortalTable:
+    """The list of match entries attached to one portal index."""
+
+    def __init__(self) -> None:
+        self.entries: List[MatchEntry] = []
+
+    def attach(self, me: MatchEntry) -> MatchEntry:
+        self.entries.append(me)
+        return me
+
+    def detach(self, me: MatchEntry) -> None:
+        me.unlinked = True
+        try:
+            self.entries.remove(me)
+        except ValueError:
+            pass
+
+    def match(self, bits: int) -> Optional[MatchEntry]:
+        for me in self.entries:
+            if me.matches(bits):
+                if me.use_once:
+                    self.detach(me)
+                return me
+        return None
+
+
+class PortalsEndpoint:
+    """Per-node portals state plus the one-sided operations."""
+
+    #: Wire overhead of a portals header / control message.
+    HEADER_BYTES = 64
+
+    def __init__(self, env: Environment, fabric: Fabric, node: Node, n_portals: int = 64) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.node = node
+        self.tables: Dict[int, PortalTable] = {i: PortalTable() for i in range(n_portals)}
+
+    # -- registration --------------------------------------------------------
+    def attach(
+        self,
+        pt_index: int,
+        match_bits: int,
+        md: MemoryDescriptor,
+        ignore_bits: int = 0,
+        use_once: bool = False,
+    ) -> MatchEntry:
+        """Expose *md* on portal *pt_index* under *match_bits*."""
+        me = MatchEntry(match_bits=match_bits, md=md, ignore_bits=ignore_bits, use_once=use_once)
+        return self.tables[pt_index].attach(me)
+
+    def detach(self, pt_index: int, me: MatchEntry) -> None:
+        self.tables[pt_index].detach(me)
+
+    def new_eq(self, capacity: float = float("inf")) -> Store:
+        """Create an event queue (a plain Store of :class:`PtlEvent`)."""
+        return Store(self.env, capacity=capacity)
+
+    # -- one-sided operations ---------------------------------------------------
+    def put(
+        self,
+        md: MemoryDescriptor,
+        target_nid: int,
+        pt_index: int,
+        match_bits: int,
+        hdr_data: Any = None,
+        offset: int = 0,
+    ) -> Event:
+        """One-sided write of ``md.payload`` into the target's match entry.
+
+        Returns an event that fires (initiator side) when the data has been
+        deposited remotely; the target's EQ receives a ``PUT_END`` event.
+        """
+        return self.env.process(
+            self._put_proc(md, target_nid, pt_index, match_bits, hdr_data, offset),
+            name=f"ptl_put->{target_nid}",
+        )
+
+    def _put_proc(self, md, target_nid, pt_index, match_bits, hdr_data, offset):
+        size = md.length + self.HEADER_BYTES
+        msg = Message(
+            src=self.node.node_id,
+            dst=target_nid,
+            size=size,
+            tag=f"ptl_put:{pt_index}:{match_bits:#x}",
+            payload=md.payload,
+        )
+        yield self.fabric.transfer(msg)
+        target = self.fabric.node(target_nid)
+        endpoint = _endpoint_of(target)
+        me = endpoint.tables[pt_index].match(match_bits)
+        if me is None:
+            raise NetworkError(
+                f"ptl_put: no match entry at node {target_nid} portal {pt_index} "
+                f"for bits {match_bits:#x}"
+            )
+        me.md.payload = md.payload
+        if me.md.eq is not None:
+            me.md.eq.try_put(
+                PtlEvent(
+                    kind=PtlEventKind.PUT_END,
+                    initiator=self.node.node_id,
+                    match_bits=match_bits,
+                    length=md.length,
+                    payload=md.payload,
+                    hdr_data=hdr_data,
+                    offset=offset,
+                )
+            )
+        return md.length
+
+    def get(
+        self,
+        md: MemoryDescriptor,
+        target_nid: int,
+        pt_index: int,
+        match_bits: int,
+        length: Optional[int] = None,
+    ) -> Event:
+        """One-sided read from the target's match entry into local *md*.
+
+        The initiator-side event fires with the fetched payload once the
+        data lands locally (``REPLY_END``); the target's EQ sees
+        ``GET_END``.
+        """
+        return self.env.process(
+            self._get_proc(md, target_nid, pt_index, match_bits, length),
+            name=f"ptl_get<-{target_nid}",
+        )
+
+    def _get_proc(self, md, target_nid, pt_index, match_bits, length):
+        # Request phase: a small control message carrying the descriptor.
+        req = Message(
+            src=self.node.node_id,
+            dst=target_nid,
+            size=self.HEADER_BYTES,
+            tag=f"ptl_get_req:{pt_index}:{match_bits:#x}",
+        )
+        yield self.fabric.transfer(req)
+
+        target = self.fabric.node(target_nid)
+        endpoint = _endpoint_of(target)
+        me = endpoint.tables[pt_index].match(match_bits)
+        if me is None:
+            raise NetworkError(
+                f"ptl_get: no match entry at node {target_nid} portal {pt_index} "
+                f"for bits {match_bits:#x}"
+            )
+        nbytes = me.md.length if length is None else min(length, me.md.length)
+        if me.md.eq is not None:
+            me.md.eq.try_put(
+                PtlEvent(
+                    kind=PtlEventKind.GET_END,
+                    initiator=self.node.node_id,
+                    match_bits=match_bits,
+                    length=nbytes,
+                )
+            )
+
+        # Reply phase: the bulk data flows target -> initiator.
+        reply = Message(
+            src=target_nid,
+            dst=self.node.node_id,
+            size=nbytes + self.HEADER_BYTES,
+            tag=f"ptl_get_reply:{pt_index}:{match_bits:#x}",
+            payload=me.md.payload,
+        )
+        yield self.fabric.transfer(reply)
+        md.payload = me.md.payload
+        if md.eq is not None:
+            md.eq.try_put(
+                PtlEvent(
+                    kind=PtlEventKind.REPLY_END,
+                    initiator=target_nid,
+                    match_bits=match_bits,
+                    length=nbytes,
+                    payload=me.md.payload,
+                )
+            )
+        return me.md.payload
+
+
+def _endpoint_of(node: Node) -> PortalsEndpoint:
+    endpoint = getattr(node, "portals", None)
+    if endpoint is None:
+        raise NetworkError(f"node {node.name} has no portals endpoint")
+    return endpoint
+
+
+def install_portals(env: Environment, fabric: Fabric, node: Node) -> PortalsEndpoint:
+    """Create and attach a portals endpoint to *node* (idempotent)."""
+    existing = getattr(node, "portals", None)
+    if existing is not None:
+        return existing
+    endpoint = PortalsEndpoint(env, fabric, node)
+    node.portals = endpoint  # type: ignore[attr-defined]
+    return endpoint

@@ -1,0 +1,226 @@
+"""Request/response messaging on top of the portals layer.
+
+LWFS clients talk to the authentication, authorization, storage, naming,
+lock, and journal services through small RPC requests; bulk data *never*
+rides in an RPC — it moves through separate server-directed portals
+transfers (see :mod:`repro.sim.datamove`).  This mirrors the split in the
+paper's Figure 6: "the server receives a small request that identifies the
+operation to perform and where to put or get data".
+
+Handlers are generator functions ``handler(ctx, **args)`` that may yield
+simulation events (disk I/O, CPU time, nested RPCs) and return the reply
+value.  Exceptions raised by a handler are marshalled back and re-raised in
+the caller.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..errors import NetworkError, NodeFailure, RPCTimeout
+from ..machine.node import Node
+from ..simkernel import Environment, Store
+from .fabric import Fabric
+from .portals import MemoryDescriptor, PortalsEndpoint, install_portals
+
+__all__ = ["RpcRequest", "RpcReply", "RpcContext", "RpcService", "RpcClient", "service_key"]
+
+#: Portal indices reserved by the RPC layer.
+REQUEST_PORTAL = 0
+REPLY_PORTAL = 1
+
+#: Default wire size of an RPC request / reply (control messages).
+REQUEST_BYTES = 256
+REPLY_BYTES = 256
+
+
+def service_key(name: str) -> int:
+    """Stable 32-bit match bits for a service name."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+@dataclass
+class RpcRequest:
+    op: str
+    args: Dict[str, Any]
+    reply_node: int
+    req_id: int
+    size: int = REQUEST_BYTES
+
+
+@dataclass
+class RpcReply:
+    ok: bool
+    value: Any = None
+    error: Optional[BaseException] = None
+    size: int = REPLY_BYTES
+
+
+@dataclass
+class RpcContext:
+    """Execution context handed to every RPC handler."""
+
+    env: Environment
+    service: "RpcService"
+    request: RpcRequest
+    initiator: int  # node id of the caller
+
+    @property
+    def node(self) -> Node:
+        return self.service.node
+
+    def cpu(self, duration: float) -> Generator:
+        """Charge *duration* seconds of this server's CPU (generator)."""
+        return self.node.compute(duration)
+
+
+class RpcService:
+    """A named service listening on a node's request portal."""
+
+    def __init__(self, env: Environment, fabric: Fabric, node: Node, name: str) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.node = node
+        self.name = name
+        self.endpoint: PortalsEndpoint = install_portals(env, fabric, node)
+        self.handlers: Dict[str, Callable[..., Generator]] = {}
+        self.inbox: Store = self.endpoint.new_eq()
+        self._me = self.endpoint.attach(
+            REQUEST_PORTAL,
+            service_key(name),
+            MemoryDescriptor(length=REQUEST_BYTES, eq=self.inbox),
+        )
+        self._dispatcher = None
+        self.requests_served = 0
+
+    @property
+    def addr(self) -> int:
+        """Node id clients direct requests to."""
+        return self.node.node_id
+
+    def register(self, op: str, handler: Callable[..., Generator]) -> None:
+        """Install *handler* for operation *op* (generator function)."""
+        if op in self.handlers:
+            raise ValueError(f"handler for {op!r} already registered on {self.name!r}")
+        self.handlers[op] = handler
+
+    def handler(self, op: str):
+        """Decorator form of :meth:`register`."""
+
+        def deco(fn):
+            self.register(op, fn)
+            return fn
+
+        return deco
+
+    def start(self) -> None:
+        """Begin dispatching requests (idempotent; restarts after reboot)."""
+        if self._dispatcher is None or not self._dispatcher.is_alive:
+            self._dispatcher = self.env.process(self._dispatch_loop(), name=f"svc:{self.name}")
+
+    def _dispatch_loop(self):
+        while True:
+            if not self.node.alive:
+                return
+            event = yield self.inbox.get()
+            request: RpcRequest = event.payload
+            self.env.process(
+                self._handle(request), name=f"svc:{self.name}:{request.op}:{request.req_id}"
+            )
+
+    def _handle(self, request: RpcRequest):
+        ctx = RpcContext(env=self.env, service=self, request=request, initiator=request.reply_node)
+        reply: RpcReply
+        try:
+            handler = self.handlers.get(request.op)
+            if handler is None:
+                raise NetworkError(f"service {self.name!r} has no op {request.op!r}")
+            value = yield from handler(ctx, **request.args)
+            reply = RpcReply(ok=True, value=value)
+        except NodeFailure:
+            # Our node (or a dependency) died: no reply will be sent; the
+            # client's timeout surfaces the failure.
+            return
+        except GeneratorExit:  # environment teardown, not a handler error
+            raise
+        except BaseException as exc:  # noqa: BLE001 - marshalled to caller
+            reply = RpcReply(ok=False, error=exc)
+
+        self.requests_served += 1
+        if not self.node.alive:
+            return  # died before replying; client times out
+        md = MemoryDescriptor(length=reply.size, payload=reply)
+        try:
+            yield self.endpoint.put(md, request.reply_node, REPLY_PORTAL, request.req_id)
+        except NodeFailure:
+            pass  # caller died; drop the reply
+
+
+class RpcClient:
+    """Client-side RPC endpoint living on a node."""
+
+    _req_ids = itertools.count(1)
+
+    def __init__(self, env: Environment, fabric: Fabric, node: Node) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.node = node
+        self.endpoint: PortalsEndpoint = install_portals(env, fabric, node)
+        self.calls_made = 0
+
+    def call(
+        self,
+        target_node: int,
+        service: str,
+        op: str,
+        timeout: Optional[float] = None,
+        request_size: int = REQUEST_BYTES,
+        **args: Any,
+    ) -> Generator:
+        """Invoke ``service.op(**args)`` on *target_node*.
+
+        A generator: ``result = yield from client.call(...)``.  Raises the
+        remote exception on handler failure, :class:`RPCTimeout` if no
+        reply arrives within *timeout*, and :class:`NodeFailure` if the
+        target is already dead.
+        """
+        req_id = next(self._req_ids)
+        reply_q: Store = self.endpoint.new_eq()
+        reply_md = MemoryDescriptor(length=REPLY_BYTES, eq=reply_q)
+        me = self.endpoint.attach(REPLY_PORTAL, req_id, reply_md, use_once=True)
+
+        request = RpcRequest(
+            op=op,
+            args=args,
+            reply_node=self.node.node_id,
+            req_id=req_id,
+            size=request_size,
+        )
+        send_md = MemoryDescriptor(length=request_size, payload=request)
+        try:
+            yield self.endpoint.put(send_md, target_node, REQUEST_PORTAL, service_key(service))
+        except NodeFailure:
+            self.endpoint.detach(REPLY_PORTAL, me)
+            raise
+
+        self.calls_made += 1
+        get_ev = reply_q.get()
+        if timeout is None:
+            event = yield get_ev
+        else:
+            timer = self.env.timeout(timeout)
+            yield self.env.any_of([get_ev, timer])
+            if not get_ev.triggered:
+                self.endpoint.detach(REPLY_PORTAL, me)
+                raise RPCTimeout(
+                    f"{service}.{op} on node {target_node} timed out after {timeout}s"
+                )
+            event = get_ev.value
+
+        reply: RpcReply = event.payload
+        if not reply.ok:
+            raise reply.error
+        return reply.value

@@ -1,0 +1,18 @@
+"""Simulated SPMD (MPI-like) application runtime."""
+
+from .app import ParallelApp, RankContext
+from .collectives import barrier, bcast, children, gather, parent, scatter, subtree
+from .comm import Communicator
+
+__all__ = [
+    "Communicator",
+    "ParallelApp",
+    "RankContext",
+    "bcast",
+    "gather",
+    "scatter",
+    "barrier",
+    "parent",
+    "children",
+    "subtree",
+]

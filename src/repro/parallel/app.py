@@ -1,0 +1,96 @@
+"""SPMD application harness: rank processes on compute nodes.
+
+``ParallelApp`` plays the role of the paper's "application launcher"
+(Figure 3): it places ranks on compute nodes (round-robin when ranks
+exceed nodes, like the paper's larger runs where "some of the compute
+nodes host multiple client processes") and runs one generator per rank.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..machine.node import Node
+from ..simkernel import Environment
+from .collectives import barrier, bcast, gather, scatter
+from .comm import Communicator
+
+__all__ = ["RankContext", "ParallelApp"]
+
+
+class RankContext:
+    """Everything one rank needs: identity, node, and collectives."""
+
+    def __init__(self, app: "ParallelApp", rank: int, node: Node) -> None:
+        self.app = app
+        self.rank = rank
+        self.node = node
+        self.env: Environment = app.env
+        self.comm = app.comm
+        self._coll_seq = 0
+
+    @property
+    def size(self) -> int:
+        return self.app.n_ranks
+
+    def _tag(self, kind: str) -> str:
+        # SPMD discipline: every rank issues collectives in the same order,
+        # so a per-rank counter yields matching tags across ranks.
+        self._coll_seq += 1
+        return f"{kind}:{self._coll_seq}"
+
+    # -- point to point -------------------------------------------------------
+    def send(self, dst: int, value: Any, tag: str = "msg", nbytes: int = 256):
+        return self.comm.send(self.rank, dst, value, tag=tag, nbytes=nbytes)
+
+    def recv(self, src: int, tag: str = "msg"):
+        return self.comm.recv(self.rank, src, tag=tag)
+
+    # -- collectives --------------------------------------------------------------
+    def barrier(self):
+        return barrier(self.comm, self.rank, tag=self._tag("bar"))
+
+    def bcast(self, value: Any = None, root: int = 0, nbytes: int = 256):
+        return bcast(self.comm, self.rank, value, root=root, tag=self._tag("bc"), nbytes=nbytes)
+
+    def gather(self, value: Any, root: int = 0, nbytes: int = 256):
+        return gather(self.comm, self.rank, value, root=root, tag=self._tag("ga"), nbytes=nbytes)
+
+    def scatter(self, values: Optional[List[Any]] = None, root: int = 0, nbytes: int = 256):
+        return scatter(self.comm, self.rank, values, root=root, tag=self._tag("sc"), nbytes=nbytes)
+
+
+class ParallelApp:
+    """Launches ``n_ranks`` copies of a rank program on compute nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric,
+        compute_nodes: List[Node],
+        n_ranks: int,
+    ) -> None:
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        if not compute_nodes:
+            raise ValueError("no compute nodes to place ranks on")
+        self.env = env
+        self.n_ranks = n_ranks
+        self.comm = Communicator(env, fabric)
+        self.contexts: List[RankContext] = []
+        for rank in range(n_ranks):
+            node = compute_nodes[rank % len(compute_nodes)]
+            self.comm.register(rank, node)
+            self.contexts.append(RankContext(self, rank, node))
+
+    def launch(self, main: Callable[[RankContext], Generator]) -> List:
+        """Start ``main(ctx)`` on every rank; returns the processes."""
+        return [
+            self.env.process(main(ctx), name=f"rank{ctx.rank}") for ctx in self.contexts
+        ]
+
+    def run(self, main: Callable[[RankContext], Generator]) -> List[Any]:
+        """Launch and run to completion; returns per-rank results."""
+        procs = self.launch(main)
+        self.env.run(self.env.all_of(procs))
+        return [p.value for p in procs]

@@ -1,0 +1,127 @@
+"""Binomial-tree collectives over the rank communicator.
+
+These give the paper's protocols their asymptotics: capability
+distribution is the "logarithmic scatter routine" of Figure 4a (our
+:func:`bcast`), and the checkpoint's metadata gather (Fig. 8,
+``GATHERMETADATA``) is a binomial-tree :func:`gather` whose message sizes
+grow with subtree size — O(log n) depth, O(n) total bytes, and zero
+system-imposed O(n) state, honoring the design rules of §2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .comm import Communicator
+
+__all__ = ["bcast", "gather", "scatter", "barrier", "children", "parent", "subtree"]
+
+
+def _top_mask(size: int) -> int:
+    top = 1
+    while top < size:
+        top <<= 1
+    return top
+
+
+def parent(vrank: int, size: int) -> Optional[int]:
+    """Parent of *vrank* in the binomial tree rooted at virtual rank 0."""
+    if vrank == 0:
+        return None
+    return vrank - (vrank & -vrank)
+
+
+def children(vrank: int, size: int) -> List[int]:
+    """Children of *vrank*: vrank + m for masks below its low set bit."""
+    start = (vrank & -vrank) if vrank else _top_mask(size)
+    out = []
+    m = start >> 1
+    while m:
+        if vrank + m < size:
+            out.append(vrank + m)
+        m >>= 1
+    return out
+
+
+def subtree(vrank: int, size: int) -> List[int]:
+    """All virtual ranks in the subtree rooted at *vrank* (inclusive)."""
+    out = [vrank]
+    for child in children(vrank, size):
+        out.extend(subtree(child, size))
+    return out
+
+
+def bcast(comm: Communicator, rank: int, value: Any, root: int = 0, tag: str = "bcast", nbytes: int = 256):
+    """Broadcast *value* from *root* to all ranks (generator; returns it)."""
+    size = comm.size
+    if size == 1:
+        return value
+    vr = (rank - root) % size
+    if vr != 0:
+        src_vr = parent(vr, size)
+        src = (src_vr + root) % size
+        value = yield from comm.recv(rank, src, tag=tag)
+    for child_vr in children(vr, size):
+        dst = (child_vr + root) % size
+        yield from comm.send(rank, dst, value, tag=tag, nbytes=nbytes)
+    return value
+
+
+def gather(
+    comm: Communicator,
+    rank: int,
+    value: Any,
+    root: int = 0,
+    tag: str = "gather",
+    nbytes: int = 256,
+):
+    """Gather one value per rank to *root* (generator).
+
+    Returns the rank-ordered list at the root, ``None`` elsewhere.
+    Message sizes scale with the number of values carried.
+    """
+    size = comm.size
+    vr = (rank - root) % size
+    acc: Dict[int, Any] = {rank: value}
+    for child_vr in children(vr, size):
+        child = (child_vr + root) % size
+        part = yield from comm.recv(rank, child, tag=tag)
+        acc.update(part)
+    up = parent(vr, size)
+    if up is not None:
+        dst = (up + root) % size
+        yield from comm.send(rank, dst, acc, tag=tag, nbytes=nbytes * len(acc))
+        return None
+    return [acc[r] for r in range(size)]
+
+
+def scatter(
+    comm: Communicator,
+    rank: int,
+    values: Optional[List[Any]],
+    root: int = 0,
+    tag: str = "scatter",
+    nbytes: int = 256,
+):
+    """Scatter ``values[r]`` to each rank *r* from *root* (generator)."""
+    size = comm.size
+    vr = (rank - root) % size
+    if vr == 0:
+        if values is None or len(values) != size:
+            raise ValueError("root must supply one value per rank")
+        mine: Dict[int, Any] = {(v + root) % size: values[(v + root) % size] for v in subtree(0, size)}
+    else:
+        src = (parent(vr, size) + root) % size
+        mine = yield from comm.recv(rank, src, tag=tag)
+    for child_vr in children(vr, size):
+        child_ranks = [(v + root) % size for v in subtree(child_vr, size)]
+        part = {r: mine[r] for r in child_ranks}
+        dst = (child_vr + root) % size
+        yield from comm.send(rank, dst, part, tag=tag, nbytes=nbytes * len(part))
+    return mine[rank]
+
+
+def barrier(comm: Communicator, rank: int, tag: str = "barrier"):
+    """All ranks synchronize (gather + bcast of empty tokens)."""
+    token = yield from gather(comm, rank, None, root=0, tag=f"{tag}.g", nbytes=16)
+    yield from bcast(comm, rank, token is not None, root=0, tag=f"{tag}.b", nbytes=16)

@@ -1,0 +1,22 @@
+"""A Lustre-like traditional parallel file system (the paper's baseline)."""
+
+from .client import PFSFileHandle, SimPFSClient
+from .deployment import PFSDeployment
+from .file import Inode, OpenFlags, PFSNamespace
+from .mds import SimMDS
+from .ost import RMW_FACTOR, SimOST
+from .striping import Fragment, StripeLayout
+
+__all__ = [
+    "StripeLayout",
+    "Fragment",
+    "Inode",
+    "OpenFlags",
+    "PFSNamespace",
+    "SimMDS",
+    "SimOST",
+    "RMW_FACTOR",
+    "PFSDeployment",
+    "SimPFSClient",
+    "PFSFileHandle",
+]

@@ -1,0 +1,217 @@
+"""POSIX-flavored client of the Lustre-like baseline.
+
+Implements the two checkpoint access styles of §4:
+
+* **file-per-process** — every rank creates its own 1-stripe file,
+* **shared file** — one file striped over all OSTs; every rank writes its
+  non-overlapping region, and the file system's consistency machinery
+  (extent locks, §4's "the file system's consistency and synchronization
+  semantics get in the way") extracts its toll at the OSTs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..lwfs.ids import TxnID  # noqa: F401 (symmetry with the LWFS client)
+from ..machine.node import Node
+from ..network.portals import MemoryDescriptor, install_portals
+from ..network.rpc import RpcClient
+from ..simkernel import Resource
+from ..storage.data import Piece, concat_pieces, piece_len, piece_slice
+from ..sim.cluster import SimCluster
+from ..sim.servers import DATA_PORTAL, next_data_bits
+from .file import Inode, OpenFlags
+from .striping import StripeLayout
+
+__all__ = ["PFSFileHandle", "SimPFSClient"]
+
+
+@dataclass
+class PFSFileHandle:
+    """An open file: inode + layout + the path it came from."""
+
+    path: str
+    inode: Inode
+    flags: int
+
+    @property
+    def layout(self) -> StripeLayout:
+        return self.inode.layout
+
+
+class SimPFSClient:
+    """Per-rank client endpoint for the baseline parallel file system."""
+
+    def __init__(self, cluster: SimCluster, node: Node, deployment) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.node = node
+        self.deployment = deployment
+        self.config = cluster.config
+        self.rpc = RpcClient(cluster.env, cluster.fabric, node)
+        self.portals = install_portals(cluster.env, cluster.fabric, node)
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- helpers ---------------------------------------------------------------
+    def _mds(self, op: str, **args):
+        return self.rpc.call(
+            self.deployment.mds_node_id, "mds", op, timeout=self.config.rpc_timeout, **args
+        )
+
+    def _ost(self, ost_id: int, op: str, **args):
+        return self.rpc.call(
+            self.deployment.ost_node_id(ost_id),
+            f"ost{ost_id}",
+            op,
+            timeout=self.config.rpc_timeout,
+            **args,
+        )
+
+    def _vfs(self):
+        """Client-side kernel path cost per file-system call."""
+        return self.node.compute(
+            self.cluster.jitter(f"{self.node.name}.vfs", self.config.pfs.client_vfs_cpu)
+        )
+
+    # -- POSIX-ish surface (all generators) ------------------------------------------
+    def create(self, path: str, stripe_count: int = 1, stripe_size: Optional[int] = None):
+        """creat(2): allocate the file at the MDS."""
+        yield from self._vfs()
+        inode = yield from self._mds(
+            "create", path=path, stripe_count=stripe_count, stripe_size=stripe_size
+        )
+        return PFSFileHandle(path=path, inode=inode, flags=OpenFlags.WRONLY | OpenFlags.CREAT)
+
+    def open(self, path: str, flags: int = OpenFlags.RDONLY):
+        yield from self._vfs()
+        inode = yield from self._mds("open", path=path, flags=flags)
+        return PFSFileHandle(path=path, inode=inode, flags=flags)
+
+    def close(self, fh: PFSFileHandle):
+        yield from self._vfs()
+        yield from self._mds("close", ino=fh.inode.ino, size=fh.inode.size)
+        return True
+
+    def unlink(self, path: str):
+        yield from self._vfs()
+        inode = yield from self._mds("unlink", path=path)
+        layout = inode.layout
+        for idx, ost in enumerate(layout.osts):
+            yield from self._ost(ost, "destroy", ino=inode.ino, stripe_index=idx)
+        return True
+
+    def write(self, fh: PFSFileHandle, offset: int, data: Piece):
+        """pwrite(2): stripe-decompose and issue pipelined OST writes."""
+        total = piece_len(data)
+        window = Resource(self.env, capacity=self.config.pipeline_depth)
+        inflight = []
+        for frag in fh.layout.map_extent(offset, total):
+            piece = piece_slice(data, frag.file_offset - offset, frag.file_offset - offset + frag.length)
+            req = window.request()
+            yield req
+            proc = self.env.process(
+                self._write_fragment(fh, frag, piece, window, req),
+                name=f"pfswrite:{fh.inode.ino}:{frag.file_offset}",
+            )
+            inflight.append(proc)
+        if inflight:
+            yield self.env.all_of(inflight)
+        # Fragment writers trap their own failures; surface the first.
+        for proc in inflight:
+            if isinstance(proc.value, BaseException):
+                raise proc.value
+        end = offset + total
+        if end > fh.inode.size:
+            fh.inode.size = end
+        self.bytes_written += total
+        return total
+
+    def _write_fragment(self, fh, frag, piece, window, window_req):
+        try:
+            yield from self._vfs()
+            ost = fh.layout.osts[frag.ost_index]
+            bits = next_data_bits()
+            md = MemoryDescriptor(length=frag.length, payload=piece)
+            me = self.portals.attach(DATA_PORTAL, bits, md, use_once=True)
+            try:
+                yield from self._ost(
+                    ost,
+                    "write",
+                    ino=fh.inode.ino,
+                    stripe_index=frag.ost_index,
+                    offset=frag.object_offset,
+                    length=frag.length,
+                    data_node=self.node.node_id,
+                    data_bits=bits,
+                    client_id=self.node.node_id,
+                )
+            finally:
+                self.portals.detach(DATA_PORTAL, me)
+        except BaseException as exc:  # noqa: BLE001 - reported to parent
+            return exc
+        finally:
+            window.release(window_req)
+
+    def read(self, fh: PFSFileHandle, offset: int, length: int):
+        """pread(2): gather fragments from the OSTs, pipelined."""
+        window = Resource(self.env, capacity=self.config.pipeline_depth)
+        inflight = []
+        for frag in fh.layout.map_extent(offset, length):
+            req = window.request()
+            yield req
+            proc = self.env.process(
+                self._read_fragment(fh, frag, window, req),
+                name=f"pfsread:{fh.inode.ino}:{frag.file_offset}",
+            )
+            inflight.append(proc)
+        if inflight:
+            yield self.env.all_of(inflight)
+        pieces: List[Piece] = []
+        for proc in inflight:
+            if isinstance(proc.value, BaseException):
+                raise proc.value
+            pieces.append(proc.value)
+        self.bytes_read += length
+        return concat_pieces(pieces)
+
+    def _read_fragment(self, fh, frag, window, window_req):
+        try:
+            yield from self._vfs()
+            ost = fh.layout.osts[frag.ost_index]
+            bits = next_data_bits()
+            recv_q = self.portals.new_eq()
+            md = MemoryDescriptor(length=frag.length, eq=recv_q)
+            me = self.portals.attach(DATA_PORTAL, bits, md, use_once=True)
+            try:
+                yield from self._ost(
+                    ost,
+                    "read",
+                    ino=fh.inode.ino,
+                    stripe_index=frag.ost_index,
+                    offset=frag.object_offset,
+                    length=frag.length,
+                    data_node=self.node.node_id,
+                    data_bits=bits,
+                )
+            finally:
+                self.portals.detach(DATA_PORTAL, me)
+            return md.payload
+        except BaseException as exc:  # noqa: BLE001 - reported to parent
+            return exc
+        finally:
+            window.release(window_req)
+
+    def fsync(self, fh: PFSFileHandle):
+        """fsync(2): flush every OST the file stripes over."""
+        for idx, ost in enumerate(fh.layout.osts):
+            yield from self._ost(ost, "sync", ino=fh.inode.ino)
+        yield from self._mds("set_size", path=fh.path, size=fh.inode.size)
+        return True
+
+    def stat(self, path: str):
+        yield from self._vfs()
+        return (yield from self._mds("stat", path=path))

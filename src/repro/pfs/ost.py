@@ -1,0 +1,170 @@
+"""Object storage targets (OSTs) with extent-lock consistency.
+
+Data movement matches LWFS (the OST pulls bulk data over portals — Lustre
+really is built on Portals too, §3.2), so the *difference* between the
+stacks is exactly what the paper says it is: the consistency machinery.
+
+Each OST object has an extent-lock owner.  While one client streams to an
+object, writes take the fast path (pull + stream, fully pipelined).  When
+a *different* client touches the same object — the shared-file checkpoint
+pattern — the lock must change hands: the previous owner's dirty pages are
+flushed (sync), the new writer's data lands with a repositioning seek, and
+interleaved partial-stripe extents cost the RAID a read-modify-write
+factor.  File-per-process files have one writer per object and never pay
+any of this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..errors import NetworkError
+from ..lwfs.ids import ContainerID
+from ..machine.node import Node
+from ..network.portals import MemoryDescriptor
+from ..simkernel import Container, Resource
+from ..storage.data import piece_len
+from ..storage.obd import ObjectStore
+from ..sim.servers import DATA_PORTAL, _SimServerBase
+
+__all__ = ["SimOST"]
+
+#: Extra media time for interleaved partial-stripe writes (RAID
+#: read-modify-write).  Together with the flush+seek at each ownership
+#: switch this reproduces the paper's "roughly half" shared-file result.
+RMW_FACTOR = 1.15
+
+#: Wire+handshake latency of one lock revocation callback (client round
+#: trip through the lock server).
+REVOKE_LATENCY = 0.5e-3
+
+
+class SimOST(_SimServerBase):
+    """One object storage target of the Lustre-like file system."""
+
+    def __init__(self, cluster, node: Node, ost_id: int, raid_bandwidth: Optional[float] = None) -> None:
+        self.ost_id = ost_id
+        self.service_name = f"ost{ost_id}"
+        super().__init__(cluster, node)
+        self.store = ObjectStore(name=f"ost{ost_id}")
+        self.device = cluster.make_raid(node, name=f"ost{ost_id}-raid", bandwidth=raid_bandwidth)
+        self.threads = Resource(cluster.env, capacity=self.config.server_threads)
+        self.buffers = Container(
+            cluster.env, capacity=self.config.buffer_pool_bytes, init=self.config.buffer_pool_bytes
+        )
+        #: per-object extent-lock owner (client node id).
+        self._owners: Dict[Hashable, int] = {}
+        #: distinct writers ever seen per object: once an object has two,
+        #: its extents stay fragmented and every write pays the contended
+        #: path (lock ping-pong does not heal while writers remain).
+        self._writers: Dict[Hashable, set] = {}
+        #: per-object serialization during contended (slow-path) writes.
+        self._object_locks: Dict[Hashable, Resource] = {}
+        self.lock_switches = 0
+        self._cid = ContainerID(0)  # all PFS objects share one "container"
+        self._register_ops()
+
+    def _object_lock(self, key: Hashable) -> Resource:
+        lock = self._object_locks.get(key)
+        if lock is None:
+            lock = Resource(self.env, capacity=1)
+            self._object_locks[key] = lock
+        return lock
+
+    def _ensure_object(self, key: Hashable) -> None:
+        if not self.store.exists(key):
+            self.store.create(key, self._cid)
+
+    def _register_ops(self) -> None:
+        costs = self.config.pfs
+        reg = self.rpc.register
+
+        def write(ctx, ino, stripe_index, offset, length, data_node, data_bits, client_id):
+            yield from self.cpu("req", costs.ost_request_cpu)
+            key = (ino, stripe_index)
+            self._ensure_object(key)
+            owner = self._owners.get(key)
+            writers = self._writers.setdefault(key, set())
+            writers.add(client_id)
+
+            if len(writers) == 1 and (owner is None or owner == client_id):
+                # Sole-writer fast path: identical to the LWFS discipline.
+                self._owners[key] = client_id
+                with self.threads.request() as thread:
+                    yield thread
+                    yield self.buffers.get(length)
+                    md = MemoryDescriptor(length=length)
+                    try:
+                        data = yield self.node.portals.get(md, data_node, DATA_PORTAL, data_bits)
+                    except BaseException:
+                        self.buffers.put(length)
+                        raise
+                    yield from self.device.write(length)
+                    self.store.write(key, offset, data)
+                    self.buffers.put(length)
+                return {"status": "ok", "written": length}
+
+            # Contended path: extent-lock ownership must change hands.
+            self.lock_switches += 1
+            with self._object_lock(key).request() as obj_lock:
+                yield obj_lock
+                # Revocation callback to the previous owner + their flush.
+                yield self.env.timeout(REVOKE_LATENCY)
+                yield from self.device.sync()
+                self._owners[key] = client_id
+                yield self.buffers.get(length)
+                md = MemoryDescriptor(length=length)
+                try:
+                    data = yield self.node.portals.get(md, data_node, DATA_PORTAL, data_bits)
+                except BaseException:
+                    self.buffers.put(length)
+                    raise
+                # Interleaved partial-stripe extents: seek + RMW on media.
+                yield from self.device.write(int(length * RMW_FACTOR), seek=True)
+                self.store.write(key, offset, data)
+                self.buffers.put(length)
+            return {"status": "ok", "written": length}
+
+        def read(ctx, ino, stripe_index, offset, length, data_node, data_bits):
+            yield from self.cpu("req", costs.ost_request_cpu)
+            key = (ino, stripe_index)
+            self._ensure_object(key)
+            with self.threads.request() as thread:
+                yield thread
+                yield self.buffers.get(length)
+                try:
+                    data = self.store.read(key, offset, length)
+                    yield from self.device.read(piece_len(data) or length)
+                    md = MemoryDescriptor(length=length, payload=data)
+                    yield self.node.portals.put(md, data_node, DATA_PORTAL, data_bits)
+                finally:
+                    self.buffers.put(length)
+            return {"status": "ok"}
+
+        def sync(ctx, ino=None):
+            yield from self.device.sync()
+            return True
+
+        def truncate(ctx, ino, stripe_index, length):
+            yield from self.cpu("req", costs.ost_request_cpu)
+            key = (ino, stripe_index)
+            if self.store.exists(key):
+                yield from self.device.meta_op()
+                self.store.truncate(key, length)
+            return True
+
+        def destroy(ctx, ino, stripe_index):
+            yield from self.cpu("req", costs.ost_request_cpu)
+            key = (ino, stripe_index)
+            if self.store.exists(key):
+                yield from self.device.meta_op()
+                released = self.store.remove(key)
+                self.device.release_bytes(released)
+                self._owners.pop(key, None)
+            return True
+
+        reg("write", write)
+        reg("read", read)
+        reg("sync", sync)
+        reg("truncate", truncate)
+        reg("destroy", destroy)

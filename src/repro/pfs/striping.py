@@ -1,0 +1,107 @@
+"""RAID-0 style file striping across OSTs (the Lustre data layout).
+
+A file's byte space is carved into ``stripe_size`` stripes dealt
+round-robin across its OSTs.  :meth:`StripeLayout.map_extent` decomposes a
+file extent into per-OST-object fragments; property tests check the
+decomposition tiles the extent exactly and round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["StripeLayout", "Fragment"]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One piece of a file extent, landing on a single OST object."""
+
+    ost_index: int  # index into the layout's OST list
+    object_offset: int  # byte offset within that OST object
+    file_offset: int  # where this fragment sits in the file
+    length: int
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Which OSTs a file stripes over, and at what granularity.
+
+    ``osts`` are global OST ids (not positions); ``ost_index`` in a
+    :class:`Fragment` indexes into this tuple.
+    """
+
+    stripe_size: int
+    osts: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.stripe_size <= 0:
+            raise ValueError("stripe_size must be positive")
+        if not self.osts:
+            raise ValueError("layout needs at least one OST")
+        if len(set(self.osts)) != len(self.osts):
+            raise ValueError("duplicate OSTs in layout")
+
+    @property
+    def stripe_count(self) -> int:
+        return len(self.osts)
+
+    # -- address mapping -------------------------------------------------------
+    def locate(self, file_offset: int) -> Tuple[int, int]:
+        """Map a file offset to (ost_index, object_offset)."""
+        if file_offset < 0:
+            raise ValueError("negative file offset")
+        stripe = file_offset // self.stripe_size
+        within = file_offset % self.stripe_size
+        ost_index = stripe % self.stripe_count
+        object_offset = (stripe // self.stripe_count) * self.stripe_size + within
+        return ost_index, object_offset
+
+    def file_offset_of(self, ost_index: int, object_offset: int) -> int:
+        """Inverse of :meth:`locate`."""
+        if not 0 <= ost_index < self.stripe_count:
+            raise ValueError(f"ost_index {ost_index} outside layout")
+        if object_offset < 0:
+            raise ValueError("negative object offset")
+        round_ = object_offset // self.stripe_size
+        within = object_offset % self.stripe_size
+        stripe = round_ * self.stripe_count + ost_index
+        return stripe * self.stripe_size + within
+
+    def map_extent(self, offset: int, length: int) -> List[Fragment]:
+        """Decompose a file extent into single-stripe fragments."""
+        if offset < 0 or length < 0:
+            raise ValueError("negative offset/length")
+        fragments: List[Fragment] = []
+        pos = offset
+        end = offset + length
+        while pos < end:
+            stripe_end = (pos // self.stripe_size + 1) * self.stripe_size
+            take = min(end, stripe_end) - pos
+            ost_index, object_offset = self.locate(pos)
+            fragments.append(
+                Fragment(
+                    ost_index=ost_index,
+                    object_offset=object_offset,
+                    file_offset=pos,
+                    length=take,
+                )
+            )
+            pos += take
+        return fragments
+
+    def object_size_for(self, ost_index: int, file_size: int) -> int:
+        """Bytes the OST object holds when the file has *file_size* bytes."""
+        if file_size <= 0:
+            return 0
+        last = file_size - 1
+        full_stripes_before = 0
+        # Count stripes belonging to ost_index strictly before the stripe of `last`.
+        last_stripe = last // self.stripe_size
+        complete_rounds, rem = divmod(last_stripe, self.stripe_count)
+        n_before = complete_rounds + (1 if ost_index < rem else 0)
+        size = n_before * self.stripe_size
+        if last_stripe % self.stripe_count == ost_index:
+            size = complete_rounds * self.stripe_size + (last % self.stripe_size) + 1
+        return size + full_stripes_before

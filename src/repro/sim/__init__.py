@@ -1,0 +1,34 @@
+"""Simulation bindings: LWFS services deployed on the simulated machine."""
+
+from .client import SimLWFSClient
+from .cluster import SimCluster
+from .config import LWFSCosts, PFSCosts, SimConfig
+from .deployment import LWFSDeployment
+from .stats import format_utilization, utilization_report
+from .servers import (
+    DATA_PORTAL,
+    SimAuthServer,
+    SimAuthzServer,
+    SimLockServer,
+    SimNamingServer,
+    SimStorageServer,
+    next_data_bits,
+)
+
+__all__ = [
+    "SimConfig",
+    "LWFSCosts",
+    "PFSCosts",
+    "SimCluster",
+    "LWFSDeployment",
+    "utilization_report",
+    "format_utilization",
+    "SimLWFSClient",
+    "SimAuthServer",
+    "SimAuthzServer",
+    "SimStorageServer",
+    "SimNamingServer",
+    "SimLockServer",
+    "DATA_PORTAL",
+    "next_data_bits",
+]

@@ -1,0 +1,90 @@
+"""Cost calibration for the simulated LWFS and baseline-PFS deployments.
+
+All host-side service times live here so calibration is one file.  The
+defaults target the paper's dev cluster (§4, DESIGN.md §5): LWFS object
+creates around 0.2 ms at the owning server, Lustre-like MDS creates around
+1.3 ms serialized at one node, and 4 MiB bulk chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..units import KiB, MiB, USEC
+
+__all__ = ["LWFSCosts", "PFSCosts", "SimConfig"]
+
+
+@dataclass(frozen=True)
+class LWFSCosts:
+    """Host CPU times (seconds) for LWFS service operations."""
+
+    # Authentication / authorization service.
+    get_cred: float = 300 * USEC
+    verify_cred: float = 60 * USEC
+    create_container: float = 120 * USEC
+    get_caps: float = 150 * USEC
+    verify_cap: float = 100 * USEC
+    revoke_update: float = 60 * USEC
+
+    # Storage service.
+    create_obj_cpu: float = 80 * USEC  # + device meta_op
+    remove_obj_cpu: float = 80 * USEC
+    request_cpu: float = 50 * USEC  # per data request (header, matching)
+    getattr_cpu: float = 40 * USEC
+    setattr_cpu: float = 60 * USEC
+    txn_op_cpu: float = 70 * USEC
+
+    # Active storage (remote filtering, §6): server-side scan rate.
+    filter_scan_rate: float = 1.2e9  # bytes/s on a 2006-era Opteron core
+
+    # Naming service.
+    name_op_cpu: float = 120 * USEC
+
+    # Lock service.
+    lock_op_cpu: float = 50 * USEC
+
+
+@dataclass(frozen=True)
+class PFSCosts:
+    """Host CPU times (seconds) for the Lustre-like baseline.
+
+    The MDS create includes the serialized journal commit that makes
+    file creation the scaling bottleneck of Fig. 10.
+    """
+
+    mds_lookup: float = 150 * USEC
+    mds_create_cpu: float = 450 * USEC
+    mds_journal: float = 800 * USEC  # charged on the MDS node's disk
+    mds_open_cpu: float = 150 * USEC
+    mds_close_cpu: float = 100 * USEC
+    ost_request_cpu: float = 80 * USEC  # per bulk RPC at the OST
+    client_vfs_cpu: float = 120 * USEC  # kernel VFS path per call
+    lock_rpc_cpu: float = 60 * USEC
+    #: Extent-lock ownership switch forces the previous holder's dirty
+    #: pages to be written back and the device to sync (seek+flush);
+    #: charged on the OST device at each conflicting handoff.
+    lock_switch_sync: bool = True
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs shared by the simulated deployments."""
+
+    chunk_bytes: int = 4 * MiB  # bulk transfer granularity (Lustre-era RPC)
+    pipeline_depth: int = 2  # client-side outstanding bulk requests
+    server_threads: int = 4  # concurrent I/O contexts per storage server
+    buffer_pool_bytes: int = 64 * MiB  # pinned buffers per server (Fig. 6)
+    request_bytes: int = 256  # wire size of control RPCs
+    cap_bytes: int = 192  # wire size of a capability/credential
+    rpc_timeout: float = 30.0  # failure detection for 2PC
+    seed: int = 1234
+    cost_jitter: float = 0.03  # relative sigma on service times
+    lwfs: LWFSCosts = field(default_factory=LWFSCosts)
+    pfs: PFSCosts = field(default_factory=PFSCosts)
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes < 64 * KiB:
+            raise ValueError("chunk_bytes unrealistically small")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")

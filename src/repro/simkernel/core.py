@@ -1,0 +1,152 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from .events import NORMAL, PENDING, AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at an event."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float in **seconds** by convention throughout this project.
+    Determinism: events scheduled for the same time and priority are
+    processed in scheduling order (FIFO), so repeated runs with the same
+    seed produce identical traces.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now: float = initial_time
+        self._queue: list = []  # heap of (time, priority, seq, event)
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (``None`` between events)."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new simulation process from *generator*."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires once all *events* have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires once any of *events* has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Insert *event* into the queue ``delay`` seconds from now."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` when nothing is left to do, and
+        re-raises un-defused event failures (crashing the simulation, which
+        is what you want for an unhandled error in a background process).
+        """
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise RuntimeError(f"event failed with non-exception {exc!r}")
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        * ``until is None`` — run until the queue is empty.
+        * ``until`` is a number — run until that simulated time.
+        * ``until`` is an :class:`Event` — run until it is processed and
+          return its value (re-raising its exception on failure).
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until={at} lies in the past (now={self._now})")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            # Priority URGENT ensures the stop fires before same-time events.
+            self._seq += 1
+            heapq.heappush(self._queue, (at, 0, self._seq, until))
+
+        if until is not None:
+            if until.callbacks is None:
+                # Already processed.
+                if until._ok:
+                    return until._value
+                raise until._value
+            until.callbacks.append(_stop_simulation)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            event = stop.args[0]
+            if event._ok:
+                return event._value
+            raise event._value from None
+        except EmptySchedule:
+            if until is not None and until._value is not PENDING:
+                if until._ok:
+                    return until._value
+                raise until._value from None
+            if until is not None:
+                raise RuntimeError(
+                    "simulation ran out of events before the 'until' event fired"
+                ) from None
+            return None
+
+
+def _stop_simulation(event: Event) -> None:
+    if not event._ok:
+        event._defused = True
+    raise StopSimulation(event)

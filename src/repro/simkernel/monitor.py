@@ -1,0 +1,124 @@
+"""Lightweight instrumentation for simulation runs.
+
+A :class:`Monitor` accumulates scalar samples tagged with the simulated time
+they were taken at; :class:`Tally` is the unweighted variant used for
+per-operation latencies.  Both compute summary statistics without retaining
+huge sample arrays unless asked to.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Tally", "Monitor", "Counter"]
+
+
+class Tally:
+    """Streaming mean/variance/min/max of unweighted samples (Welford)."""
+
+    def __init__(self, name: str = "", keep_samples: bool = False) -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+        self.samples: Optional[List[float]] = [] if keep_samples else None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.samples is not None:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Tally {self.name!r} n={self.count} mean={self.mean:.6g}>"
+
+
+class Monitor:
+    """Time-weighted level tracker (e.g. queue depth, buffer occupancy)."""
+
+    def __init__(self, env, name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self._level = 0.0
+        self._last_time = env.now
+        self._area = 0.0
+        self.max_level = 0.0
+        self._start = env.now
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def set(self, level: float) -> None:
+        now = self.env.now
+        self._area += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+        if level > self.max_level:
+            self.max_level = level
+
+    def add(self, delta: float) -> None:
+        self.set(self._level + delta)
+
+    def time_average(self) -> float:
+        now = self.env.now
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._level
+        area = self._area + self._level * (now - self._last_time)
+        return area / elapsed
+
+
+class Counter:
+    """Named event counters (messages sent, cache hits, verifies, ...)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        self._counts[key] = self._counts.get(key, 0) + amount
+
+    def __getitem__(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def items(self) -> List[Tuple[str, int]]:
+        return sorted(self._counts.items())
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def clear(self) -> None:
+        self._counts.clear()

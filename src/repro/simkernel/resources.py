@@ -1,0 +1,318 @@
+"""Shared-resource primitives built on the event kernel.
+
+These model contention points in the simulated machine: a NIC that can move
+one message at a time, a RAID controller, a metadata server's CPU, a pool of
+pinned I/O buffers, and mailbox-style message queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .core import Environment
+from .events import Event
+
+__all__ = [
+    "Request",
+    "Resource",
+    "PriorityRequest",
+    "PriorityResource",
+    "Store",
+    "Container",
+]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (no-op if already granted)."""
+        self.resource._cancel(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.triggered and self._ok:
+            self.release()
+        else:
+            self.cancel()
+
+
+class Resource:
+    """A resource with *capacity* slots granted FIFO."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: set = set()
+        self._waiting: deque = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of ungranted requests."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a slot previously granted to *request*."""
+        if request not in self._users:
+            raise RuntimeError(f"{request!r} does not hold {self!r}")
+        self._users.discard(request)
+        self._grant_next()
+
+    # -- internals ----------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.add(request)
+            request.succeed(request)
+        else:
+            self._waiting.append(request)
+
+    def _cancel(self, request: Request) -> None:
+        if request in self._users:
+            return
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            if nxt.triggered:  # cancelled/failed while queued
+                continue
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} capacity={self.capacity} "
+            f"held={self.count} queued={self.queue_len}>"
+        )
+
+
+class PriorityRequest(Request):
+    """Request with a priority (lower value = granted earlier)."""
+
+    __slots__ = ("priority", "_order")
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0) -> None:
+        self.priority = priority
+        self._order = resource._next_order()
+        super().__init__(resource)
+
+    def __lt__(self, other: "PriorityRequest") -> bool:
+        return (self.priority, self._order) < (other.priority, other._order)
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are granted in priority order (FIFO per tier)."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._waiting: list = []  # heap of PriorityRequest
+        self._order_counter = 0
+
+    def _next_order(self) -> int:
+        self._order_counter += 1
+        return self._order_counter
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        if len(self._users) < self.capacity and not self._waiting:
+            self._users.add(request)
+            request.succeed(request)
+        else:
+            heapq.heappush(self._waiting, request)
+
+    def _cancel(self, request: Request) -> None:
+        if request in self._users:
+            return
+        try:
+            self._waiting.remove(request)
+            heapq.heapify(self._waiting)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = heapq.heappop(self._waiting)
+            if nxt.triggered:
+                continue
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """FIFO buffer of Python objects with blocking put/get.
+
+    With the default infinite capacity this is a mailbox; with a finite
+    capacity it models bounded queues (e.g. an I/O node's request buffer
+    that *rejects or delays* bursts, paper §3.2).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._getters: deque = deque()
+        self._putters: deque = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert *item*; the event fires once there is room."""
+        event = Event(self.env)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+            self._wake_getters()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put: ``False`` if the store is full (reject)."""
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            self._wake_getters()
+            return True
+        return False
+
+    def get(self) -> Event:
+        """Remove and return the oldest item; event value is the item."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self.items:
+            item = self.items.popleft()
+            self._admit_putters()
+            return True, item
+        return False, None
+
+    # -- internals ----------------------------------------------------------
+    def _wake_getters(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(self.items.popleft())
+            self._admit_putters()
+
+    def _admit_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter, item = self._putters.popleft()
+            if putter.triggered:
+                continue
+            self.items.append(item)
+            putter.succeed()
+            self._wake_getters()
+
+
+class Container:
+    """A continuous quantity (e.g. buffer bytes) with blocking put/get."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = init
+        self._getters: deque = deque()  # (event, amount)
+        self._putters: deque = deque()  # (event, amount)
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        if amount > self.capacity:
+            raise ValueError(f"amount {amount} exceeds capacity {self.capacity}")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if event.triggered:
+                    self._putters.popleft()
+                    progressed = True
+                elif self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed()
+                    progressed = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if event.triggered:
+                    self._getters.popleft()
+                    progressed = True
+                elif self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed()
+                    progressed = True

@@ -1,0 +1,32 @@
+"""Storage substrate: data pieces, extent maps, RAID timing, object store."""
+
+from .data import (
+    CompositeData,
+    Piece,
+    SyntheticData,
+    ZeroData,
+    concat_pieces,
+    data_equal,
+    piece_bytes,
+    piece_len,
+    piece_slice,
+)
+from .device import RaidDevice
+from .extent import ExtentMap
+from .obd import ObjectStore, StorageObject
+
+__all__ = [
+    "SyntheticData",
+    "ZeroData",
+    "CompositeData",
+    "Piece",
+    "piece_len",
+    "piece_slice",
+    "piece_bytes",
+    "data_equal",
+    "concat_pieces",
+    "ExtentMap",
+    "RaidDevice",
+    "ObjectStore",
+    "StorageObject",
+]

@@ -1,0 +1,123 @@
+"""Timing model of a node-attached RAID volume.
+
+All durations come from the node's :class:`~repro.machine.spec.StorageSpec`.
+The device serializes requests (one controller), charges a seek for
+non-sequential access, streams at the sustained bandwidth, and models
+``fsync`` as a fixed flush cost.  Optional jitter makes repeated trials
+vary the way the paper's error bars do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import OutOfSpace
+from ..machine.spec import StorageSpec
+from ..simkernel import Environment, RandomStreams, Resource, Tally
+
+__all__ = ["RaidDevice"]
+
+
+class RaidDevice:
+    """A simulated RAID volume attached to an I/O node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: StorageSpec,
+        name: str = "raid",
+        rng: Optional[RandomStreams] = None,
+        jitter: float = 0.03,
+    ) -> None:
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self.rng = rng
+        self.jitter = jitter
+        self._controller = Resource(env, capacity=1)
+        # Metadata ops (object create/remove, journal records) commit
+        # through the controller's NVRAM journal, not the data path, so
+        # they do not queue behind multi-millisecond bulk writes.
+        self._meta_lane = Resource(env, capacity=1)
+        self.used_bytes = 0
+        self.busy_time = 0.0
+        self.op_stats = Tally(f"{name}.ops")
+
+    # -- internal -----------------------------------------------------------
+    def _cost(self, base: float, stream: str) -> float:
+        if self.rng is None or self.jitter <= 0:
+            return base
+        return self.rng.jitter(f"{self.name}.{stream}", base, self.jitter)
+
+    def _busy(self, duration: float):
+        with self._controller.request() as req:
+            yield req
+            start = self.env.now
+            yield self.env.timeout(duration)
+            self.busy_time += self.env.now - start
+            self.op_stats.observe(duration)
+
+    # -- operations (generators) -------------------------------------------------
+    def write(self, nbytes: int, seek: bool = False):
+        """Stream *nbytes* to the device: ``yield from device.write(n)``.
+
+        ``seek=True`` charges a positioning cost first.  Streaming
+        checkpoint writes leave it ``False`` — the RAID's write-back cache
+        and elevator absorb positioning for bulk sequential-per-object
+        traffic; consistency-forced flushes (lock ping-pong in the
+        shared-file baseline) pass ``True`` explicitly.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        if self.used_bytes + nbytes > self.spec.capacity:
+            raise OutOfSpace(
+                f"{self.name}: {nbytes}B write exceeds capacity "
+                f"({self.used_bytes}/{self.spec.capacity} used)"
+            )
+        duration = nbytes / self.spec.bandwidth
+        if seek:
+            duration += self._cost(self.spec.seek_time, "seek")
+        if nbytes:
+            duration = self._cost(duration, "write")
+        yield from self._busy(duration)
+        self.used_bytes += nbytes
+
+    def read(self, nbytes: int, seek: bool = True):
+        """Stream *nbytes* from the device (reads pay a seek by default)."""
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        duration = nbytes / self.spec.bandwidth
+        if seek:
+            duration += self._cost(self.spec.seek_time, "seek")
+        yield from self._busy(duration)
+
+    def sync(self):
+        """Flush the write-back cache (fsync)."""
+        yield from self._busy(self._cost(self.spec.sync_time, "sync"))
+
+    def meta_op(self):
+        """A metadata-touching device operation (create/remove/setattr).
+
+        Serialized against other metadata ops (one journal), but not
+        against bulk data transfers.
+        """
+        with self._meta_lane.request() as req:
+            yield req
+            duration = self._cost(self.spec.meta_op_time, "meta")
+            start = self.env.now
+            yield self.env.timeout(duration)
+            self.busy_time += self.env.now - start
+            self.op_stats.observe(duration)
+
+    def release_bytes(self, nbytes: int) -> None:
+        """Account for object/file removal."""
+        self.used_bytes = max(0, self.used_bytes - nbytes)
+
+    @property
+    def queue_len(self) -> int:
+        return self._controller.queue_len
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)

@@ -1,0 +1,150 @@
+"""Sparse extent maps: the byte-range storage behind objects and files.
+
+An :class:`ExtentMap` holds non-overlapping, sorted ``(offset, data)``
+segments.  Writes split or replace overlapping segments; reads return the
+requested range with holes zero-filled (POSIX sparse-file semantics).
+Used by the object-based storage device, the Lustre-like OSTs, and the
+journal implementation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+from .data import Piece, ZeroData, concat_pieces, piece_len, piece_slice
+
+__all__ = ["ExtentMap"]
+
+
+class ExtentMap:
+    """A sparse, writable byte-address space."""
+
+    def __init__(self) -> None:
+        self._offsets: List[int] = []  # sorted segment start offsets
+        self._segments: List[Piece] = []  # parallel to _offsets
+        self._size = 0  # POSIX file size (truncate can set it past data)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """The POSIX file size: grown by writes, set exactly by truncate."""
+        return self._size
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes actually written (excludes holes)."""
+        return sum(piece_len(s) for s in self._segments)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._offsets)
+
+    def segments(self) -> List[Tuple[int, Piece]]:
+        """A copy of the (offset, data) segment list, sorted by offset."""
+        return list(zip(self._offsets, self._segments))
+
+    # -- mutation --------------------------------------------------------------
+    def write(self, offset: int, data: Piece) -> None:
+        """Write *data* at *offset*, replacing any overlapped content."""
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        length = piece_len(data)
+        if length == 0:
+            return
+        end = offset + length
+
+        # Find the window of segments overlapping [offset, end).
+        lo = bisect.bisect_left(self._offsets, offset)
+        # The segment before lo may still overlap if it extends past offset.
+        if lo > 0:
+            prev_off = self._offsets[lo - 1]
+            prev_len = piece_len(self._segments[lo - 1])
+            if prev_off + prev_len > offset:
+                lo -= 1
+        hi = lo
+        while hi < len(self._offsets) and self._offsets[hi] < end:
+            hi += 1
+
+        new_offsets: List[int] = []
+        new_segments: List[Piece] = []
+        for i in range(lo, hi):
+            seg_off = self._offsets[i]
+            seg = self._segments[i]
+            seg_end = seg_off + piece_len(seg)
+            if seg_off < offset:  # left remainder survives
+                new_offsets.append(seg_off)
+                new_segments.append(piece_slice(seg, 0, offset - seg_off))
+            if seg_end > end:  # right remainder survives
+                new_offsets.append(end)
+                new_segments.append(piece_slice(seg, end - seg_off, seg_end - seg_off))
+
+        insert_at = bisect.bisect_left(new_offsets, offset)
+        new_offsets.insert(insert_at, offset)
+        new_segments.insert(insert_at, data)
+
+        self._offsets[lo:hi] = new_offsets
+        self._segments[lo:hi] = new_segments
+        if end > self._size:
+            self._size = end
+
+    def truncate(self, length: int) -> None:
+        """Set the size to exactly *length* (POSIX ftruncate).
+
+        Content at or beyond *length* is discarded; truncating past the
+        current size extends the file with a hole.
+        """
+        if length < 0:
+            raise ValueError(f"negative length {length}")
+        self._size = length
+        lo = 0
+        while lo < len(self._offsets):
+            seg_off = self._offsets[lo]
+            seg_len = piece_len(self._segments[lo])
+            if seg_off >= length:
+                break
+            if seg_off + seg_len > length:
+                self._segments[lo] = piece_slice(self._segments[lo], 0, length - seg_off)
+                lo += 1
+                break
+            lo += 1
+        del self._offsets[lo:]
+        del self._segments[lo:]
+
+    # -- reads ------------------------------------------------------------------
+    def read(self, offset: int, length: int) -> Piece:
+        """Read *length* bytes at *offset*; holes come back as zeros."""
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        if length < 0:
+            raise ValueError(f"negative length {length}")
+        if length == 0:
+            return b""
+        end = offset + length
+
+        lo = bisect.bisect_left(self._offsets, offset)
+        if lo > 0:
+            prev_off = self._offsets[lo - 1]
+            if prev_off + piece_len(self._segments[lo - 1]) > offset:
+                lo -= 1
+
+        pieces: List[Piece] = []
+        pos = offset
+        i = lo
+        while pos < end and i < len(self._offsets):
+            seg_off = self._offsets[i]
+            seg = self._segments[i]
+            seg_end = seg_off + piece_len(seg)
+            if seg_off >= end:
+                break
+            if seg_off > pos:  # hole before this segment
+                pieces.append(ZeroData(seg_off - pos))
+                pos = seg_off
+            take_from = pos - seg_off
+            take_to = min(end, seg_end) - seg_off
+            pieces.append(piece_slice(seg, take_from, take_to))
+            pos = seg_off + take_to
+            i += 1
+        if pos < end:  # trailing hole
+            pieces.append(ZeroData(end - pos))
+        return concat_pieces(pieces)

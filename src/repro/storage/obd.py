@@ -1,0 +1,111 @@
+"""An object-based storage device (OBD), paper §3.3.
+
+The object-based architecture (Figure 7b) moves block-layout decisions and
+access-policy *enforcement* onto the storage device, leaving policy
+*decisions* to the authorization service.  This module is the functional
+(untimed) object store; the simulated storage server wraps it with
+device timing (:class:`~repro.storage.device.RaidDevice`) and capability
+enforcement (:mod:`repro.lwfs.storage_svc`).
+
+Object ids are opaque hashable values chosen by the caller; every object
+belongs to exactly one container (the unit of access control, §3.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterator, List, Optional
+
+from ..errors import NoSuchObject, ObjectExists
+from .data import Piece, piece_len
+from .extent import ExtentMap
+
+__all__ = ["StorageObject", "ObjectStore"]
+
+
+@dataclass
+class StorageObject:
+    """One object: a sparse byte space plus free-form attributes."""
+
+    oid: Hashable
+    cid: Hashable  # owning container id
+    extents: ExtentMap = field(default_factory=ExtentMap)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return self.extents.size
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.extents.allocated_bytes
+
+
+class ObjectStore:
+    """A flat collection of objects, as exported by one storage device."""
+
+    def __init__(self, name: str = "obd") -> None:
+        self.name = name
+        self._objects: Dict[Hashable, StorageObject] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+    def create(self, oid: Hashable, cid: Hashable, attrs: Optional[Dict[str, Any]] = None) -> StorageObject:
+        if oid in self._objects:
+            raise ObjectExists(f"{self.name}: object {oid!r} already exists")
+        obj = StorageObject(oid=oid, cid=cid, attrs=dict(attrs or {}))
+        self._objects[oid] = obj
+        return obj
+
+    def remove(self, oid: Hashable) -> int:
+        """Delete an object; returns the bytes it had allocated."""
+        obj = self._get(oid)
+        del self._objects[oid]
+        return obj.allocated_bytes
+
+    def exists(self, oid: Hashable) -> bool:
+        return oid in self._objects
+
+    # -- data ---------------------------------------------------------------------
+    def write(self, oid: Hashable, offset: int, data: Piece) -> int:
+        """Write *data* at *offset*; returns bytes written."""
+        obj = self._get(oid)
+        obj.extents.write(offset, data)
+        return piece_len(data)
+
+    def read(self, oid: Hashable, offset: int, length: int) -> Piece:
+        return self._get(oid).extents.read(offset, length)
+
+    def truncate(self, oid: Hashable, length: int) -> None:
+        self._get(oid).extents.truncate(length)
+
+    # -- attributes ------------------------------------------------------------------
+    def get_attrs(self, oid: Hashable) -> Dict[str, Any]:
+        obj = self._get(oid)
+        return {"size": obj.size, "cid": obj.cid, **obj.attrs}
+
+    def set_attr(self, oid: Hashable, key: str, value: Any) -> None:
+        if key in ("size", "cid"):
+            raise ValueError(f"attribute {key!r} is managed by the store")
+        self._get(oid).attrs[key] = value
+
+    def container_of(self, oid: Hashable) -> Hashable:
+        return self._get(oid).cid
+
+    # -- enumeration -------------------------------------------------------------------
+    def list_objects(self, cid: Optional[Hashable] = None) -> List[Hashable]:
+        if cid is None:
+            return list(self._objects)
+        return [oid for oid, obj in self._objects.items() if obj.cid == cid]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[StorageObject]:
+        return iter(self._objects.values())
+
+    # -- internals -----------------------------------------------------------------------
+    def _get(self, oid: Hashable) -> StorageObject:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise NoSuchObject(f"{self.name}: no object {oid!r}") from None

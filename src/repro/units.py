@@ -1,0 +1,81 @@
+"""Unit helpers.
+
+Conventions used throughout the project:
+
+* time is in **seconds** (floats),
+* data sizes are in **bytes** (ints),
+* bandwidth is in **bytes/second**,
+* throughput in the paper's figures is reported in MB/s (decimal within the
+  plots of the original report used binary MB; we follow the common HPC
+  convention of MB = 2**20 bytes, matching "each node writes 512 MB").
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "USEC",
+    "MSEC",
+    "mb_per_s",
+    "gb_per_s",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_rate",
+]
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+TiB = 1024**4
+
+# Binary-flavored aliases used by the paper's prose ("512 MB", "400 MB/s").
+KB = KiB
+MB = MiB
+GB = GiB
+TB = TiB
+
+USEC = 1e-6
+MSEC = 1e-3
+
+
+def mb_per_s(value: float) -> float:
+    """Convert MB/s to bytes/s."""
+    return value * MiB
+
+
+def gb_per_s(value: float) -> float:
+    """Convert GB/s to bytes/s."""
+    return value * GiB
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count ('512.0 MiB')."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or unit == "TiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration ('3.2 ms', '1.5 s', '2.1 min')."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Human-readable bandwidth ('421.1 MB/s')."""
+    return f"{bytes_per_s / MiB:.1f} MB/s"

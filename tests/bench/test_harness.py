@@ -1,0 +1,145 @@
+"""Benchmark harness: sanity, determinism, and the paper's orderings."""
+
+import pytest
+
+from repro.bench import (
+    CheckpointModel,
+    measure_create_point,
+    measure_point,
+    petaflop_extrapolation,
+    run_checkpoint_trial,
+    run_create_trial,
+)
+from repro.bench.report import format_rows, format_series_table, save_json
+from repro.units import MiB
+
+
+SIZE = 16 * MiB
+
+
+class TestTrials:
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(ValueError):
+            run_checkpoint_trial("gpfs", 2, 2)
+
+    def test_trial_fields(self):
+        r = run_checkpoint_trial("lwfs", 2, 2, state_bytes=SIZE, seed=5)
+        assert r.n_clients == 2 and r.n_servers == 2
+        assert r.max_elapsed >= r.mean_elapsed > 0
+        assert r.throughput_mb_s == pytest.approx(2 * 16 / r.max_elapsed)
+
+    def test_same_seed_reproduces_exactly(self):
+        a = run_checkpoint_trial("lwfs", 2, 2, state_bytes=SIZE, seed=9)
+        b = run_checkpoint_trial("lwfs", 2, 2, state_bytes=SIZE, seed=9)
+        assert a.max_elapsed == b.max_elapsed
+
+    def test_different_seeds_vary(self):
+        a = run_checkpoint_trial("lwfs", 2, 2, state_bytes=SIZE, seed=1)
+        b = run_checkpoint_trial("lwfs", 2, 2, state_bytes=SIZE, seed=2)
+        assert a.max_elapsed != b.max_elapsed
+
+    def test_throughput_roughly_size_invariant(self):
+        small = run_checkpoint_trial("lwfs", 4, 4, state_bytes=16 * MiB, seed=3)
+        big = run_checkpoint_trial("lwfs", 4, 4, state_bytes=64 * MiB, seed=3)
+        assert big.throughput_mb_s == pytest.approx(small.throughput_mb_s, rel=0.15)
+
+
+class TestPaperOrderings:
+    """The shape claims of §4, checked at a reduced scale."""
+
+    def test_shared_file_is_roughly_half_of_fpp(self):
+        fpp = run_checkpoint_trial("lustre-fpp", 8, 4, state_bytes=SIZE, seed=7)
+        shared = run_checkpoint_trial("lustre-shared", 8, 4, state_bytes=SIZE, seed=7)
+        ratio = shared.throughput_mb_s / fpp.throughput_mb_s
+        assert 0.35 <= ratio <= 0.7
+
+    def test_lwfs_tracks_fpp_bandwidth(self):
+        lwfs = run_checkpoint_trial("lwfs", 8, 4, state_bytes=SIZE, seed=7)
+        fpp = run_checkpoint_trial("lustre-fpp", 8, 4, state_bytes=SIZE, seed=7)
+        assert lwfs.throughput_mb_s == pytest.approx(fpp.throughput_mb_s, rel=0.2)
+
+    def test_bandwidth_scales_with_servers(self):
+        two = run_checkpoint_trial("lwfs", 16, 2, state_bytes=SIZE, seed=4)
+        eight = run_checkpoint_trial("lwfs", 16, 8, state_bytes=SIZE, seed=4)
+        assert eight.throughput_mb_s > 3.0 * two.throughput_mb_s
+
+    def test_lwfs_creates_crush_lustre_creates(self):
+        lwfs = run_create_trial("lwfs", 8, 8, creates_per_client=16, seed=4)
+        lustre = run_create_trial("lustre-fpp", 8, 8, creates_per_client=16, seed=4)
+        assert lwfs.extra["creates_per_s"] > 10 * lustre.extra["creates_per_s"]
+
+    def test_lwfs_creates_scale_with_servers(self):
+        two = run_create_trial("lwfs", 16, 2, creates_per_client=16, seed=4)
+        eight = run_create_trial("lwfs", 16, 8, creates_per_client=16, seed=4)
+        assert eight.extra["creates_per_s"] > 2.5 * two.extra["creates_per_s"]
+
+    def test_lustre_creates_do_not_scale_with_servers(self):
+        two = run_create_trial("lustre-fpp", 16, 2, creates_per_client=8, seed=4)
+        eight = run_create_trial("lustre-fpp", 16, 8, creates_per_client=8, seed=4)
+        assert eight.extra["creates_per_s"] == pytest.approx(
+            two.extra["creates_per_s"], rel=0.15
+        )
+
+
+class TestSweepPoints:
+    def test_measure_point_statistics(self):
+        p = measure_point("lwfs", 2, 2, trials=3, state_bytes=SIZE)
+        assert len(p.trials) == 3
+        assert p.mean == pytest.approx(sum(p.trials) / 3)
+        assert p.unit == "MB/s"
+        assert p.stdev >= 0
+
+    def test_measure_create_point(self):
+        p = measure_create_point("lwfs", 2, 2, trials=2, creates_per_client=8)
+        assert p.unit == "ops/s"
+        assert p.mean > 0
+
+
+class TestAnalyticModel:
+    def test_petaflop_create_takes_minutes(self):
+        model = petaflop_extrapolation()
+        summary = model.summary()
+        # "creating the files will require multiple minutes"
+        assert 60 < summary["pfs_create_time_s"] < 600
+        # "roughly 10% of the total time for the checkpoint operation"
+        assert 0.05 < summary["pfs_create_fraction"] < 0.2
+
+    def test_lwfs_creates_are_negligible_at_petaflop(self):
+        summary = petaflop_extrapolation().summary()
+        assert summary["lwfs_create_fraction"] < 0.001
+        assert summary["create_speedup"] > 1000
+
+    def test_dump_time_formula(self):
+        model = CheckpointModel(
+            n_clients=10,
+            n_servers=2,
+            state_bytes=100,
+            server_bandwidth=50,
+            mds_create_time=1.0,
+            distributed_create_time=0.1,
+        )
+        assert model.dump_time() == pytest.approx(10 * 100 / (2 * 50))
+        assert model.centralized_create_time() == pytest.approx(10.0)
+        assert model.distributed_create_time_total() == pytest.approx(0.5)
+
+
+class TestReporting:
+    def test_series_table_renders(self):
+        points = [measure_point("lwfs", n, 2, trials=1, state_bytes=SIZE) for n in (2, 4)]
+        table = format_series_table("Fig9 (lwfs)", points)
+        assert "2 servers" in table
+        assert "MB/s" in table
+
+    def test_format_rows(self):
+        text = format_rows("T", [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}])
+        assert "a" in text and "10" in text
+
+    def test_save_json(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        point = measure_point("lwfs", 2, 2, trials=1, state_bytes=SIZE)
+        path = save_json("unit-test", {"points": [point]})
+        import json
+
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["points"][0]["n_clients"] == 2

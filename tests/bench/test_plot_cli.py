@@ -1,0 +1,103 @@
+"""ASCII charting and the command-line interface."""
+
+import pytest
+
+from repro.bench.harness import SweepPoint
+from repro.bench.plot import ascii_chart, chart_sweep
+from repro.cli import build_parser, main
+
+
+def _point(clients, servers, mean, unit="MB/s"):
+    return SweepPoint(
+        impl="lwfs", n_clients=clients, n_servers=servers, mean=mean, stdev=0.0, unit=unit
+    )
+
+
+class TestAsciiChart:
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({}, title="t")
+
+    def test_all_points_plotted(self):
+        chart = ascii_chart({"s": [(1, 10.0), (2, 20.0), (3, 15.0)]}, title="demo")
+        body = "\n".join(chart.splitlines()[1:-2])  # strip title + legend
+        assert body.count("o") == 3
+        assert "demo" in chart
+
+    def test_series_get_distinct_glyphs(self):
+        chart = ascii_chart({"a": [(1, 1.0)], "b": [(2, 2.0)]})
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_log_scale_marks_legend(self):
+        chart = ascii_chart({"a": [(1, 10.0), (64, 10000.0)]}, log_y=True)
+        assert "[log y" in chart
+
+    def test_single_point_does_not_divide_by_zero(self):
+        chart = ascii_chart({"a": [(5, 42.0)]})
+        assert "o" in chart
+
+    def test_chart_sweep_groups_by_servers(self):
+        points = [
+            _point(2, 2, 100),
+            _point(4, 2, 150),
+            _point(2, 16, 100),
+            _point(4, 16, 400),
+        ]
+        chart = chart_sweep(points, "Fig 9")
+        assert "2 servers" in chart and "16 servers" in chart
+        assert "clients" in chart
+
+
+class TestCLI:
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "checkpoint", "create",
+                        "fig9", "fig10", "petaflop", "examples"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Red Storm" in out and "65536" in out
+
+    def test_checkpoint_point(self, capsys):
+        assert main(["checkpoint", "--impl", "lwfs", "--clients", "4",
+                     "--servers", "2", "--state-mb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "MB/s" in out
+
+    def test_create_point(self, capsys):
+        assert main(["create", "--clients", "4", "--servers", "2",
+                     "--per-client", "8"]) == 0
+        assert "creates/s" in capsys.readouterr().out
+
+    def test_fig9_small(self, capsys):
+        assert main(["fig9", "--clients", "2", "4", "--servers", "2",
+                     "--state-mb", "8", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out and "clients" in out
+
+    def test_petaflop(self, capsys):
+        assert main(["petaflop"]) == 0
+        out = capsys.readouterr().out
+        assert "pfs_create_fraction" in out
+
+    def test_examples_listing(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart.py" in out
+
+
+    def test_figures_command(self, capsys, tmp_path):
+        out_file = tmp_path / "charts.txt"
+        code = main(["figures", "--out", str(out_file)])
+        captured = capsys.readouterr().out
+        if code == 0:
+            assert "Fig 9" in captured
+            assert out_file.exists()
+        else:
+            assert "no sweep results" in captured

@@ -1,0 +1,34 @@
+"""Fixtures for I/O-library tests: full small-cluster deployments."""
+
+import pytest
+
+from repro.machine import dev_cluster
+from repro.parallel import ParallelApp
+from repro.pfs import PFSDeployment
+from repro.sim import LWFSDeployment, SimCluster, SimConfig
+from repro.units import MiB
+
+
+@pytest.fixture
+def cluster():
+    return SimCluster(
+        dev_cluster(),
+        SimConfig(chunk_bytes=1 * MiB),
+        compute_nodes=4,
+        io_nodes=2,
+        service_nodes=1,
+    )
+
+
+@pytest.fixture
+def lwfs(cluster):
+    return LWFSDeployment(cluster, n_storage_servers=2)
+
+
+@pytest.fixture
+def pfs(cluster):
+    return PFSDeployment(cluster, n_osts=2)
+
+
+def make_app(cluster, n_ranks):
+    return ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=n_ranks)

@@ -1,0 +1,132 @@
+"""Active storage: remote filtering at storage servers (§6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PermissionDenied, StorageError
+from repro.iolib.active import FILTER_REGISTRY, attach_filter_support, register_filter, run_filter
+from repro.lwfs import LWFSDomain, OpMask
+
+
+@pytest.fixture
+def domain():
+    return LWFSDomain.create(n_servers=2, users=(("u", "p"),))
+
+
+@pytest.fixture
+def setup(domain):
+    client = domain.client("u", "p")
+    cid = client.create_container()
+    client.get_caps(cid, OpMask.ALL)
+    oid = client.create_object(cid, server_id=0)
+    svc = domain.server(0)
+    attach_filter_support(svc)
+    return client, cid, oid, svc
+
+
+class TestRegistry:
+    def test_builtin_filters_present(self):
+        for name in ("sum_f32", "minmax_f32", "mean_f32", "count_above_f32",
+                     "histogram_u8", "count_byte"):
+            assert name in FILTER_REGISTRY
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(StorageError, match="unknown filter"):
+            run_filter("rm_rf", b"", {})
+
+    def test_register_and_duplicate(self):
+        register_filter("test_len", lambda raw, args: len(raw))
+        try:
+            assert run_filter("test_len", b"abc", {}) == 3
+            with pytest.raises(ValueError):
+                register_filter("test_len", lambda raw, args: 0)
+        finally:
+            del FILTER_REGISTRY["test_len"]
+
+
+class TestFilterMath:
+    def test_sum_and_mean(self):
+        data = np.array([1.5, 2.5, -1.0], dtype=np.float32).tobytes()
+        assert run_filter("sum_f32", data, {}) == pytest.approx(3.0)
+        assert run_filter("mean_f32", data, {}) == pytest.approx(1.0)
+
+    def test_minmax(self):
+        data = np.array([3.0, -7.0, 2.0], dtype=np.float32).tobytes()
+        assert run_filter("minmax_f32", data, {}) == (-7.0, 3.0)
+        assert run_filter("minmax_f32", b"", {}) == (0.0, 0.0)
+
+    def test_count_above(self):
+        data = np.array([0.1, 0.9, 0.5, 0.95], dtype=np.float32).tobytes()
+        assert run_filter("count_above_f32", data, {"threshold": 0.8}) == 2
+
+    def test_histogram(self):
+        data = bytes([0, 0, 255, 128])
+        counts = run_filter("histogram_u8", data, {"bins": 2})
+        assert counts == [2, 2]  # 0,0 in [0,128); 128,255 in [128,256)
+        with pytest.raises(StorageError):
+            run_filter("histogram_u8", data, {"bins": 0})
+
+    def test_count_byte(self):
+        assert run_filter("count_byte", b"abracadabra", {"byte": ord("a")}) == 5
+
+    def test_trailing_partial_float_ignored(self):
+        data = np.array([1.0], dtype=np.float32).tobytes() + b"\x01\x02"
+        assert run_filter("sum_f32", data, {}) == pytest.approx(1.0)
+
+
+class TestEnforcement:
+    def test_filter_requires_read_capability(self, domain, setup):
+        client, cid, oid, svc = setup
+        payload = np.ones(100, dtype=np.float32).tobytes()
+        svc.write(client.cap_for(cid, OpMask.WRITE), oid, 0, payload)
+        read_cap = domain.authz.get_caps(client.cred, cid, OpMask.READ)
+        create_only = domain.authz.get_caps(client.cred, cid, OpMask.CREATE)
+        assert svc.filter_object(read_cap, oid, 0, 400, "sum_f32") == pytest.approx(100.0)
+        with pytest.raises(PermissionDenied):
+            svc.filter_object(create_only, oid, 0, 400, "sum_f32")
+
+    def test_filter_sees_read_equivalent_bytes(self, domain, setup):
+        client, cid, oid, svc = setup
+        cap = client.cap_for(cid, OpMask.ALL)
+        svc.write(cap, oid, 8, b"\xff\xff")  # with a 8-byte hole before
+        # histogram over the hole + data: zeros counted like read(2) would.
+        counts = svc.filter_object(cap, oid, 0, 10, "histogram_u8", {"bins": 2})
+        assert counts == [8, 2]  # eight zero bytes from the hole, two 0xff
+
+
+class TestSimulatedFilter:
+    def test_digest_cheaper_than_bulk_read(self):
+        from repro.machine import dev_cluster
+        from repro.sim import LWFSDeployment, SimCluster
+        from repro.units import MiB
+
+        cluster = SimCluster(dev_cluster(), compute_nodes=1, io_nodes=1, service_nodes=1)
+        dep = LWFSDeployment(cluster, n_storage_servers=1)
+        client = dep.client(cluster.compute_nodes[0])
+        env = cluster.env
+        payload = np.arange(1_000_000, dtype=np.float32).tobytes()
+
+        def flow():
+            cred = yield from client.get_cred("alice", "alice-password")
+            cid = yield from client.create_container(cred)
+            cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+            oid = yield from client.create_object(cap, 0)
+            yield from client.write(cap, oid, payload)
+            bytes_before = cluster.fabric.counters["bytes"]
+            t0 = env.now
+            total = yield from client.filter(cap, oid, 0, len(payload), "sum_f32")
+            t_filter = env.now - t0
+            filter_bytes = cluster.fabric.counters["bytes"] - bytes_before
+            bytes_before = cluster.fabric.counters["bytes"]
+            t0 = env.now
+            yield from client.read(cap, oid, 0, len(payload))
+            t_read = env.now - t0
+            read_bytes = cluster.fabric.counters["bytes"] - bytes_before
+            return total, t_filter, t_read, filter_bytes, read_bytes
+
+        total, t_filter, t_read, filter_bytes, read_bytes = env.run(env.process(flow()))
+        expected = float(np.arange(1_000_000, dtype=np.float64).sum())
+        assert total == pytest.approx(expected, rel=1e-3)
+        assert t_filter < t_read
+        # The digest path moves ~3 control messages; the read ships 4 MB.
+        assert filter_bytes < read_bytes / 100

@@ -1,0 +1,160 @@
+"""The Figure 8 checkpoint over LWFS: integrity, atomicity, restart."""
+
+import pytest
+
+from repro.iolib import LWFSCheckpointer
+from repro.storage import SyntheticData, data_equal
+from repro.units import MiB
+
+from .conftest import make_app
+
+SIZE = 2 * MiB
+
+
+def test_checkpoint_and_restart_roundtrip(cluster, lwfs):
+    app = make_app(cluster, 4)
+    ck = LWFSCheckpointer(lwfs)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        state = SyntheticData(SIZE, seed=100 + ctx.rank)
+        result = yield from ck.checkpoint(ctx, state, path="/ckpt/t1")
+        recovered, _ = yield from ck.restart(ctx, "/ckpt/t1")
+        return data_equal(recovered, state), result
+
+    outcomes = app.run(main)
+    assert all(ok for ok, _ in outcomes)
+    results = [r for _, r in outcomes]
+    assert all(r.bytes_moved == SIZE for r in results)
+    assert all(r.elapsed > 0 for r in results)
+
+
+def test_setup_touches_authz_once(cluster, lwfs):
+    """Fig. 4a: one getcaps at the authorization server, then a log-scatter."""
+    app = make_app(cluster, 4)
+    ck = LWFSCheckpointer(lwfs)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        return True
+
+    app.run(main)
+    assert lwfs.authz.svc.getcap_count == 1
+
+
+def test_objects_distributed_round_robin(cluster, lwfs):
+    app = make_app(cluster, 4)
+    ck = LWFSCheckpointer(lwfs)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        result = yield from ck.checkpoint(ctx, SyntheticData(SIZE, seed=ctx.rank))
+        return result.oid
+
+    oids = app.run(main)
+    assert {oid.server_hint for oid in oids} == {0, 1}
+
+
+def test_checkpoint_binds_a_name(cluster, lwfs):
+    app = make_app(cluster, 2)
+    ck = LWFSCheckpointer(lwfs)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        yield from ck.checkpoint(ctx, SyntheticData(SIZE, seed=1), path="/ckpt/named")
+        return True
+
+    app.run(main)
+    assert lwfs.naming.svc.exists("/ckpt/named")
+
+
+def test_sequential_checkpoints_reuse_container(cluster, lwfs):
+    """MAIN() acquires the container/caps once; CHECKPOINT() repeats."""
+    app = make_app(cluster, 2)
+    ck = LWFSCheckpointer(lwfs)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        for step in range(3):
+            yield from ck.checkpoint(ctx, SyntheticData(SIZE, seed=step))
+        return True
+
+    app.run(main)
+    assert lwfs.authz.svc.getcap_count == 1  # still just the setup call
+    # Verify RPCs: at most one per (cap, server) for the whole run.
+    assert sum(s.verify_rpcs for s in lwfs.storage) <= lwfs.n_servers
+
+
+def test_nontransactional_mode(cluster, lwfs):
+    app = make_app(cluster, 2)
+    ck = LWFSCheckpointer(lwfs, transactional=False)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        result = yield from ck.checkpoint(ctx, SyntheticData(SIZE, seed=7), path="/ckpt/nt")
+        recovered, _ = yield from ck.restart(ctx, "/ckpt/nt")
+        return data_equal(recovered, SyntheticData(SIZE, seed=7))
+
+    assert all(app.run(main))
+
+
+def test_checkpoint_without_setup_rejected(cluster, lwfs):
+    app = make_app(cluster, 1)
+    ck = LWFSCheckpointer(lwfs)
+
+    def main(ctx):
+        with pytest.raises(RuntimeError, match="setup"):
+            yield from ck.checkpoint(ctx, b"state")
+        return True
+
+    assert app.run(main) == [True]
+
+
+def test_failed_checkpoint_leaves_no_partial_state(cluster, lwfs):
+    """Kill a storage server mid-dump: 2PC aborts, the namespace stays
+    clean, and surviving servers roll their objects back."""
+    import dataclasses
+
+    cluster.config = dataclasses.replace(cluster.config, rpc_timeout=0.5)
+    app = make_app(cluster, 2)
+    ck = LWFSCheckpointer(lwfs)
+    env = cluster.env
+
+    objects_before = len(lwfs.storage[0].svc.store)  # its txn journal only
+
+    def killer():
+        yield env.timeout(0.05)  # mid-dump
+        lwfs.storage[1].node.kill()
+
+    def main(ctx):
+        ck.client(ctx).config = cluster.config
+        yield from ck.setup(ctx)
+        try:
+            yield from ck.checkpoint(ctx, SyntheticData(8 * MiB, seed=ctx.rank), path="/ckpt/doomed")
+        except Exception as exc:  # noqa: BLE001
+            return type(exc).__name__
+        return "ok"
+
+    env.process(killer())
+    outcomes = app.run(main)
+    assert any(o != "ok" for o in outcomes)
+    assert not lwfs.naming.svc.exists("/ckpt/doomed")
+    # The surviving server has no leftover objects from the doomed txn.
+    assert len(lwfs.storage[0].svc.store) == objects_before
+
+
+def test_restart_missing_checkpoint(cluster, lwfs):
+    from repro.errors import NoSuchName
+
+    app = make_app(cluster, 1)
+    ck = LWFSCheckpointer(lwfs)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        try:
+            yield from ck.restart(ctx, "/ckpt/never-written")
+        except NoSuchName:
+            return "missing"
+        return "found"
+
+    assert app.run(main) == ["missing"]

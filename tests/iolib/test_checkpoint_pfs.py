@@ -1,0 +1,110 @@
+"""Checkpointing through the traditional PFS (the paper's two alternatives)."""
+
+import pytest
+
+from repro.iolib import PFSCheckpointer
+from repro.storage import SyntheticData, data_equal
+from repro.units import MiB
+
+from .conftest import make_app
+
+SIZE = 2 * MiB
+
+
+@pytest.mark.parametrize("mode", ["file-per-process", "shared"])
+def test_checkpoint_restart_roundtrip(cluster, pfs, mode):
+    app = make_app(cluster, 4)
+    ck = PFSCheckpointer(pfs, mode=mode)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        state = SyntheticData(SIZE, seed=50 + ctx.rank, origin=ctx.rank * SIZE)
+        result = yield from ck.checkpoint(ctx, state, path="/ckpt/p1")
+        recovered, _ = yield from ck.restart(ctx, "/ckpt/p1")
+        return data_equal(recovered, state), result
+
+    outcomes = app.run(main)
+    assert all(ok for ok, _ in outcomes)
+
+
+def test_bad_mode_rejected(pfs):
+    with pytest.raises(ValueError):
+        PFSCheckpointer(pfs, mode="telepathy")
+
+
+def test_fpp_creates_one_file_per_rank(cluster, pfs):
+    app = make_app(cluster, 4)
+    ck = PFSCheckpointer(pfs, mode="file-per-process")
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        yield from ck.checkpoint(ctx, SyntheticData(SIZE, seed=1), path="/ckpt/many")
+        return True
+
+    app.run(main)
+    names = pfs.mds.namespace.list_dir("/ckpt")
+    assert sorted(names) == [f"many.rank{r}" for r in range(4)]
+
+
+def test_shared_creates_single_file(cluster, pfs):
+    app = make_app(cluster, 4)
+    ck = PFSCheckpointer(pfs, mode="shared")
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        yield from ck.checkpoint(ctx, SyntheticData(SIZE, seed=2), path="/ckpt/one")
+        return True
+
+    app.run(main)
+    assert pfs.mds.namespace.list_dir("/ckpt") == ["one"]
+    inode = pfs.mds.namespace.lookup("/ckpt/one")
+    assert inode.layout.stripe_count == pfs.n_osts
+
+
+def test_shared_mode_pays_lock_switches_fpp_does_not(cluster, pfs):
+    app = make_app(cluster, 4)
+    ck_fpp = PFSCheckpointer(pfs, mode="file-per-process")
+
+    def main_fpp(ctx):
+        yield from ck_fpp.setup(ctx)
+        yield from ck_fpp.checkpoint(ctx, SyntheticData(SIZE, seed=3))
+        return True
+
+    app.run(main_fpp)
+    assert pfs.lock_switches() == 0
+
+    app2 = make_app(cluster, 4)
+    ck_shared = PFSCheckpointer(pfs, mode="shared")
+
+    def main_shared(ctx):
+        yield from ck_shared.setup(ctx)
+        yield from ck_shared.checkpoint(ctx, SyntheticData(SIZE, seed=4))
+        return True
+
+    app2.run(main_shared)
+    assert pfs.lock_switches() > 0
+
+
+def test_every_create_goes_through_the_mds(cluster, pfs):
+    """The centralized-metadata bottleneck of Fig. 10, structurally."""
+    app = make_app(cluster, 4)
+    ck = PFSCheckpointer(pfs, mode="file-per-process")
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        result = yield from ck.create_objects(ctx, count=5)
+        return result
+
+    before = pfs.mds.namespace.creates
+    app.run(main)
+    assert pfs.mds.namespace.creates == before + 4 * 5
+
+
+def test_create_objects_timing_serializes_at_mds(cluster, pfs):
+    """More clients should NOT speed up the create phase much."""
+    from repro.bench import run_create_trial
+
+    one = run_create_trial("lustre-fpp", 1, 2, creates_per_client=8, seed=3)
+    four = run_create_trial("lustre-fpp", 4, 2, creates_per_client=8, seed=3)
+    # 4x the creates take nearly 4x the time once the MDS saturates.
+    assert four.max_elapsed > 2.0 * one.max_elapsed

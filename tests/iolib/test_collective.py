@@ -1,0 +1,102 @@
+"""The MPI-IO-flavored parallel-file layer over LWFS (§6 future work)."""
+
+import pytest
+
+from repro.iolib import LWFSCollectiveIO
+from repro.lwfs import OpMask
+from repro.storage import SyntheticData, data_equal, piece_bytes
+from repro.units import MiB
+
+from .conftest import make_app
+
+
+def bootstrap_cap(ctx, deployment):
+    client = deployment.client(ctx.node)
+    if ctx.rank == 0:
+        cred = yield from client.get_cred("alice", "alice-password")
+        cid = yield from client.create_container(cred)
+        cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+    else:
+        cap = None
+    cap = yield from ctx.bcast(cap)
+    return cap
+
+
+def test_collective_write_read_roundtrip(cluster, lwfs):
+    app = make_app(cluster, 4)
+    cio = LWFSCollectiveIO(lwfs, stripe_size=1 * MiB)
+    block_size = 2 * MiB
+
+    def main(ctx):
+        cap = yield from bootstrap_cap(ctx, lwfs)
+        pf = yield from cio.create_all(ctx, cap, "/pfile/a")
+        block = SyntheticData(block_size, seed=1, origin=ctx.rank * block_size)
+        yield from cio.write_at_all(ctx, pf, 0, block)
+        back = yield from cio.read_at_all(ctx, pf, 0, block_size)
+        return data_equal(back, block)
+
+    assert all(app.run(main))
+
+
+def test_reopen_by_name(cluster, lwfs):
+    app = make_app(cluster, 2)
+    cio = LWFSCollectiveIO(lwfs, stripe_size=1 * MiB)
+
+    def main(ctx):
+        cap = yield from bootstrap_cap(ctx, lwfs)
+        pf = yield from cio.create_all(ctx, cap, "/pfile/reopen")
+        if ctx.rank == 0:
+            client = lwfs.client(ctx.node)
+            yield from cio.write_at(ctx, pf, 0, b"persisted-bytes")
+        yield from ctx.barrier()
+        pf2 = yield from cio.open_all(ctx, cap, "/pfile/reopen")
+        back = yield from cio.read_at(ctx, pf2, 0, 15)
+        return piece_bytes(back)
+
+    assert app.run(main) == [b"persisted-bytes"] * 2
+
+
+def test_stripes_map_to_distinct_servers(cluster, lwfs):
+    app = make_app(cluster, 2)
+    cio = LWFSCollectiveIO(lwfs, stripe_size=1 * MiB)
+
+    def main(ctx):
+        cap = yield from bootstrap_cap(ctx, lwfs)
+        pf = yield from cio.create_all(ctx, cap, "/pfile/layout")
+        return pf
+
+    handles = app.run(main)
+    pf = handles[0]
+    assert len(pf.objects) == lwfs.n_servers
+    assert {oid.server_hint for oid in pf.objects} == set(range(lwfs.n_servers))
+
+
+def test_unaligned_write_spans_stripes(cluster, lwfs):
+    app = make_app(cluster, 1)
+    cio = LWFSCollectiveIO(lwfs, stripe_size=1 * MiB)
+
+    def main(ctx):
+        cap = yield from bootstrap_cap(ctx, lwfs)
+        pf = yield from cio.create_all(ctx, cap, "/pfile/unaligned")
+        data = SyntheticData(2 * MiB, seed=6, origin=512 * 1024)
+        yield from cio.write_at(ctx, pf, 512 * 1024, data)
+        back = yield from cio.read_at(ctx, pf, 512 * 1024, 2 * MiB)
+        return data_equal(back, data)
+
+    assert app.run(main) == [True]
+
+
+def test_no_locks_needed(cluster, lwfs):
+    """The library partitions writers, so the lock service stays idle."""
+    app = make_app(cluster, 4)
+    cio = LWFSCollectiveIO(lwfs, stripe_size=1 * MiB)
+
+    def main(ctx):
+        cap = yield from bootstrap_cap(ctx, lwfs)
+        pf = yield from cio.create_all(ctx, cap, "/pfile/lockfree")
+        block = SyntheticData(1 * MiB, seed=2, origin=ctx.rank * MiB)
+        yield from cio.write_at_all(ctx, pf, 0, block)
+        return True
+
+    app.run(main)
+    assert lwfs.locks.svc.grants == 0

@@ -1,0 +1,75 @@
+"""Distribution policies (the 'open architecture' piece)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iolib import Block, HashedPlacement, ListPlacement, RoundRobin
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        rr = RoundRobin()
+        assert [rr.place(i, 4) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_offset(self):
+        rr = RoundRobin(offset=2)
+        assert rr.place(0, 4) == 2
+
+    def test_bad_server_count(self):
+        with pytest.raises(ValueError):
+            RoundRobin().place(0, 0)
+
+
+class TestBlock:
+    def test_contiguous_blocks(self):
+        block = Block(total=8)
+        assert [block.place(i, 2) for i in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_uneven_split(self):
+        block = Block(total=5)
+        placements = [block.place(i, 2) for i in range(5)]
+        assert placements == [0, 0, 0, 1, 1]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Block(total=4).place(4, 2)
+
+
+class TestHashed:
+    def test_deterministic(self):
+        h = HashedPlacement(salt=1)
+        assert h.place(42, 8) == h.place(42, 8)
+
+    def test_salt_changes_layout(self):
+        a = [HashedPlacement(salt=1).place(i, 8) for i in range(64)]
+        b = [HashedPlacement(salt=2).place(i, 8) for i in range(64)]
+        assert a != b
+
+    def test_spreads_over_servers(self):
+        h = HashedPlacement()
+        used = {h.place(i, 8) for i in range(200)}
+        assert used == set(range(8))
+
+
+class TestListPlacement:
+    def test_explicit_mapping(self):
+        lp = ListPlacement(mapping=[3, 1, 2])
+        assert [lp.place(i, 4) for i in range(5)] == [3, 1, 2, 3, 1]
+
+    def test_invalid_entry(self):
+        with pytest.raises(ValueError):
+            ListPlacement(mapping=[9]).place(0, 4)
+
+
+@given(
+    index=st.integers(min_value=0, max_value=10_000),
+    n_servers=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_all_policies_stay_in_range(index, n_servers):
+    policies = [RoundRobin(), RoundRobin(offset=3), HashedPlacement(salt=7)]
+    for policy in policies:
+        assert 0 <= policy.place(index, n_servers) < n_servers
+    block = Block(total=10_001)
+    assert 0 <= block.place(index, n_servers) < n_servers

@@ -1,0 +1,154 @@
+"""The POSIX-semantics file system layered on the LWFS-core (§6)."""
+
+import pytest
+
+from repro.errors import NameExists, NoSuchFile, PFSError
+from repro.iolib.posixfs import LWFSPosixFS
+from repro.lwfs import LWFSDomain
+from repro.storage import SyntheticData, data_equal, piece_bytes
+from repro.units import MiB
+
+
+@pytest.fixture
+def domain():
+    return LWFSDomain.create(n_servers=4, users=(("u", "p"),))
+
+
+@pytest.fixture
+def fs(domain):
+    return LWFSPosixFS(domain.client("u", "p"), stripe_size=64 * 1024, stripe_count=4)
+
+
+class TestLifecycle:
+    def test_create_write_read_close(self, fs):
+        fh = fs.create("/data/a.dat")
+        fs.write(fh, b"hello posix world")
+        fs.close(fh)
+        fh2 = fs.open("/data/a.dat")
+        assert piece_bytes(fs.read(fh2, 17)) == b"hello posix world"
+        fs.close(fh2)
+
+    def test_create_duplicate_rejected_and_cleaned(self, fs, domain):
+        fs.create("/x")
+        objects_before = sum(len(s.store) for s in domain.servers)
+        with pytest.raises(NameExists):
+            fs.create("/x")
+        # The failed create leaked no objects.
+        assert sum(len(s.store) for s in domain.servers) == objects_before
+
+    def test_open_missing(self, fs):
+        with pytest.raises(NoSuchFile):
+            fs.open("/ghost")
+
+    def test_unlink_removes_everything(self, fs, domain):
+        fh = fs.create("/victim")
+        fs.write(fh, b"bytes")
+        fs.close(fh)
+        before = sum(len(s.store) for s in domain.servers)
+        fs.unlink("/victim")
+        assert not fs.exists("/victim")
+        assert sum(len(s.store) for s in domain.servers) < before
+
+    def test_closed_handle_rejected(self, fs):
+        fh = fs.create("/c")
+        fs.close(fh)
+        with pytest.raises(PFSError):
+            fs.write(fh, b"late")
+
+    def test_readonly_handle_rejects_write(self, fs):
+        fh = fs.create("/ro")
+        fs.write(fh, b"x")
+        fs.close(fh)
+        ro = fs.open("/ro", "r")
+        with pytest.raises(PFSError):
+            fs.write(ro, b"nope")
+
+
+class TestPosixSemantics:
+    def test_cursor_advances(self, fs):
+        fh = fs.create("/cur")
+        fs.write(fh, b"aaa")
+        fs.write(fh, b"bbb")
+        fs.seek(fh, 0)
+        assert piece_bytes(fs.read(fh, 6)) == b"aaabbb"
+        assert fh.offset == 6
+
+    def test_seek_whence(self, fs):
+        fh = fs.create("/seek")
+        fs.write(fh, b"0123456789")
+        assert fs.seek(fh, 2) == 2
+        assert fs.seek(fh, 3, whence=1) == 5
+        assert fs.seek(fh, -4, whence=2) == 6
+        assert piece_bytes(fs.read(fh, 4)) == b"6789"
+        with pytest.raises(ValueError):
+            fs.seek(fh, 0, whence=9)
+        with pytest.raises(ValueError):
+            fs.seek(fh, -1)
+
+    def test_read_past_eof_truncated(self, fs):
+        fh = fs.create("/eof")
+        fs.write(fh, b"short")
+        fs.seek(fh, 0)
+        assert piece_bytes(fs.read(fh, 100)) == b"short"
+        assert piece_bytes(fs.read(fh, 100)) == b""
+
+    def test_append_mode(self, fs):
+        fh = fs.create("/log")
+        fs.write(fh, b"line1\n")
+        fs.close(fh)
+        log = fs.open("/log", "a")
+        fs.write(log, b"line2\n")
+        fs.close(log)
+        reader = fs.open("/log")
+        assert piece_bytes(fs.read(reader, 12)) == b"line1\nline2\n"
+
+    def test_sparse_pwrite(self, fs):
+        fh = fs.create("/sparse")
+        fs.pwrite(fh, 1000, b"tail")
+        out = piece_bytes(fs.pread(fh, 998, 6))
+        assert out == b"\x00\x00tail"
+        assert fs.stat_size("/sparse") == 1004
+
+    def test_data_stripes_across_servers(self, fs, domain):
+        fh = fs.create("/wide", stripe_count=4)
+        data = SyntheticData(1 * MiB, seed=5)
+        fs.pwrite(fh, 0, data)
+        holding = [s for s in domain.servers if any(
+            s.store.get_attrs(o).get("posixfs") == "/wide" for o in s.store.list_objects()
+        )]
+        assert len(holding) == 4
+        assert data_equal(fs.pread(fh, 0, 1 * MiB), data)
+
+
+class TestCrossClientConsistency:
+    def test_size_visible_across_instances(self, domain):
+        writer = LWFSPosixFS(domain.client("u", "p"), stripe_count=2)
+        reader = LWFSPosixFS(
+            domain.client("u", "p"), cid=writer.cid, stripe_count=2
+        )
+        # share the namespace: both clients use the same domain naming.
+        fh = writer.create("/shared")
+        writer.write(fh, b"0123456789")
+        fh_r = reader.open("/shared")
+        assert piece_bytes(reader.pread(fh_r, 0, 10)) == b"0123456789"
+        # append from the second instance lands after the first's data
+        writer2 = reader.open("/shared", "a")
+        reader.write(writer2, b"ABC")
+        assert writer.stat_size("/shared") == 13
+
+    def test_posix_mode_takes_locks_relaxed_does_not(self, domain):
+        posix = LWFSPosixFS(domain.client("u", "p"), consistency="posix")
+        fh = posix.create("/locky")
+        posix.write(fh, b"data")
+        posix.read(posix.open("/locky"), 4)
+        assert domain.locks.grants > 0
+
+        grants_before = domain.locks.grants
+        relaxed = LWFSPosixFS(domain.client("u", "p"), consistency="relaxed")
+        fh2 = relaxed.create("/lockfree")
+        relaxed.write(fh2, b"data")
+        assert domain.locks.grants == grants_before
+
+    def test_bad_consistency_mode(self, domain):
+        with pytest.raises(ValueError):
+            LWFSPosixFS(domain.client("u", "p"), consistency="eventual")

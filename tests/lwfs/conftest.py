@@ -1,0 +1,60 @@
+"""Shared fixtures for LWFS functional-layer tests."""
+
+import pytest
+
+from repro.lwfs import AuthenticationService, AuthorizationService, LWFSDomain, MockKerberos
+
+
+class ManualClock:
+    """An injectable clock tests can advance by hand."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def kerberos():
+    kerb = MockKerberos()
+    kerb.add_principal("alice", "alice-pw")
+    kerb.add_principal("bob", "bob-pw")
+    return kerb
+
+
+@pytest.fixture
+def authn(kerberos, clock):
+    return AuthenticationService(kerberos, clock=clock)
+
+
+@pytest.fixture
+def authz(authn):
+    return AuthorizationService(authn)
+
+
+@pytest.fixture
+def domain(clock):
+    return LWFSDomain.create(
+        n_servers=4,
+        users=(("alice", "alice-pw"), ("bob", "bob-pw")),
+        clock=clock,
+    )
+
+
+@pytest.fixture
+def alice(domain):
+    return domain.client("alice", "alice-pw")
+
+
+@pytest.fixture
+def bob(domain):
+    return domain.client("bob", "bob-pw")

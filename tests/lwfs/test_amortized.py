@@ -1,0 +1,65 @@
+"""The amortized verify-cost analysis (§3.1.2)."""
+
+import pytest
+
+from repro.lwfs import VerifyCostModel
+
+
+@pytest.fixture
+def model():
+    return VerifyCostModel(
+        n_clients=64,
+        n_servers=16,
+        n_caps=2,
+        accesses_per_client=128,
+        verify_rtt=200e-6,
+        io_time_per_access=45e-3,
+    )
+
+
+def test_caching_messages_independent_of_accesses(model):
+    import dataclasses
+
+    short = model
+    long = dataclasses.replace(model, accesses_per_client=128_000)
+    assert short.caching().verify_messages == long.caching().verify_messages == 2 * 16
+
+
+def test_no_cache_messages_scale_with_accesses(model):
+    assert model.no_cache().verify_messages == 64 * 128
+
+
+def test_shared_key_has_zero_messages(model):
+    assert model.shared_key().verify_messages == 0
+    assert model.shared_key().verify_seconds == 0.0
+
+
+def test_caching_overhead_is_minimal(model):
+    """The paper's claim: amortized impact of the extra communication is
+    minimal — well under 1% of I/O time for a checkpoint-like workload."""
+    assert model.caching().fraction_of_io_time < 0.01
+
+
+def test_no_cache_overhead_is_not_minimal(model):
+    assert model.no_cache().fraction_of_io_time > 10 * model.caching().fraction_of_io_time
+
+
+def test_per_access_overhead_vanishes_with_scale(model):
+    import dataclasses
+
+    longer = dataclasses.replace(model, accesses_per_client=12_800)
+    assert longer.caching().per_access_overhead < model.caching().per_access_overhead / 50
+
+
+def test_accesses_to_amortize(model):
+    needed = model.accesses_to_amortize(target_fraction=0.01)
+    # k*m*rtt / (0.01 * io_time) = 2*16*200e-6 / (0.01*45e-3)
+    assert needed == pytest.approx(2 * 16 * 200e-6 / (0.01 * 45e-3), abs=1)
+    with pytest.raises(ValueError):
+        model.accesses_to_amortize(0)
+
+
+def test_breakdown_fields_consistent(model):
+    b = model.caching()
+    assert b.verify_seconds == pytest.approx(b.verify_messages * 200e-6)
+    assert b.per_access_overhead == pytest.approx(b.verify_seconds / (64 * 128))

@@ -1,0 +1,112 @@
+"""Authentication: external mechanism, credentials, lifetime, revocation."""
+
+import pytest
+
+from repro.errors import AuthenticationError, CredentialExpired, CredentialRevoked
+from repro.lwfs import Credential, MockKerberos, UserID
+from repro.lwfs.authn import DEFAULT_LIFETIME
+
+
+class TestMockKerberos:
+    def test_good_password(self, kerberos):
+        assert kerberos.authenticate("alice", "alice-pw") == UserID("alice")
+
+    def test_bad_password(self, kerberos):
+        with pytest.raises(AuthenticationError):
+            kerberos.authenticate("alice", "wrong")
+
+    def test_unknown_principal(self, kerberos):
+        with pytest.raises(AuthenticationError):
+            kerberos.authenticate("mallory", "x")
+
+    def test_disabled_principal(self, kerberos):
+        kerberos.disable_principal("alice")
+        with pytest.raises(AuthenticationError):
+            kerberos.authenticate("alice", "alice-pw")
+
+    def test_duplicate_principal_rejected(self, kerberos):
+        with pytest.raises(ValueError):
+            kerberos.add_principal("alice", "other")
+
+    def test_non_string_proof_rejected(self, kerberos):
+        with pytest.raises(AuthenticationError):
+            kerberos.authenticate("alice", 12345)
+
+
+class TestCredentialIssue:
+    def test_issue_and_verify(self, authn):
+        cred = authn.get_cred("alice", "alice-pw")
+        assert authn.verify_cred(cred) == UserID("alice")
+
+    def test_bad_login_issues_nothing(self, authn):
+        with pytest.raises(AuthenticationError):
+            authn.get_cred("alice", "nope")
+
+    def test_tokens_are_unique(self, authn):
+        c1 = authn.get_cred("alice", "alice-pw")
+        c2 = authn.get_cred("alice", "alice-pw")
+        assert c1.token != c2.token
+
+    def test_token_length_enforced(self):
+        with pytest.raises(ValueError):
+            Credential(token=b"short", uid=UserID("x"), expires_at=0)
+
+    def test_forged_token_rejected(self, authn):
+        forged = Credential(
+            token=Credential.fresh_token(), uid=UserID("alice"), expires_at=1e9
+        )
+        with pytest.raises(AuthenticationError, match="forged|unknown"):
+            authn.verify_cred(forged)
+
+    def test_tampered_display_uid_gains_nothing(self, authn):
+        """Verification uses the service table, not the display fields."""
+        import dataclasses
+
+        cred = authn.get_cred("bob", "bob-pw")
+        tampered = dataclasses.replace(cred, uid=UserID("alice"))
+        assert authn.verify_cred(tampered) == UserID("bob")
+
+
+class TestLifetime:
+    def test_expiry(self, authn, clock):
+        cred = authn.get_cred("alice", "alice-pw")
+        clock.advance(DEFAULT_LIFETIME + 1)
+        with pytest.raises(CredentialExpired):
+            authn.verify_cred(cred)
+
+    def test_valid_within_lifetime(self, authn, clock):
+        cred = authn.get_cred("alice", "alice-pw")
+        clock.advance(DEFAULT_LIFETIME / 2)
+        assert authn.verify_cred(cred) == UserID("alice")
+
+
+class TestRevocation:
+    def test_revoke_single_credential(self, authn):
+        cred = authn.get_cred("alice", "alice-pw")
+        authn.revoke_cred(cred)
+        with pytest.raises(CredentialRevoked):
+            authn.verify_cred(cred)
+
+    def test_revoke_unknown_credential(self, authn):
+        forged = Credential(token=Credential.fresh_token(), uid=UserID("x"), expires_at=0)
+        with pytest.raises(AuthenticationError):
+            authn.revoke_cred(forged)
+
+    def test_revoke_user_kills_all_their_credentials(self, authn):
+        creds = [authn.get_cred("alice", "alice-pw") for _ in range(3)]
+        bob_cred = authn.get_cred("bob", "bob-pw")
+        assert authn.revoke_user(UserID("alice")) == 3
+        for cred in creds:
+            with pytest.raises(CredentialRevoked):
+                authn.verify_cred(cred)
+        assert authn.verify_cred(bob_cred) == UserID("bob")
+
+
+class TestTransferability:
+    def test_credential_is_transferable(self, authn):
+        """Any process holding the credential acts as the principal
+        (paper §3.1.2: distributed app processes share one identity)."""
+        cred = authn.get_cred("alice", "alice-pw")
+        # "another process" is just another verify call with the object.
+        for _ in range(5):
+            assert authn.verify_cred(cred) == UserID("alice")

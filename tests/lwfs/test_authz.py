@@ -1,0 +1,203 @@
+"""Authorization service: ACLs, capability issue/verify, revocation."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import (
+    CapabilityExpired,
+    CapabilityInvalid,
+    CapabilityRevoked,
+    NoSuchContainer,
+    PermissionDenied,
+)
+from repro.lwfs import OpMask, UserID
+
+
+@pytest.fixture
+def alice_cred(authn):
+    return authn.get_cred("alice", "alice-pw")
+
+
+@pytest.fixture
+def bob_cred(authn):
+    return authn.get_cred("bob", "bob-pw")
+
+
+class TestContainers:
+    def test_create_grants_owner_all(self, authz, alice_cred):
+        cid = authz.create_container(alice_cred)
+        assert authz.get_acl(cid)[UserID("alice")] == OpMask.ALL
+
+    def test_create_with_extra_acl(self, authz, alice_cred):
+        cid = authz.create_container(alice_cred, acl={UserID("bob"): OpMask.READ})
+        assert authz.get_acl(cid)[UserID("bob")] == OpMask.READ
+
+    def test_remove_container(self, authz, alice_cred):
+        cid = authz.create_container(alice_cred)
+        authz.remove_container(alice_cred, cid)
+        assert not authz.container_exists(cid)
+
+    def test_non_owner_cannot_remove(self, authz, alice_cred, bob_cred):
+        cid = authz.create_container(alice_cred)
+        with pytest.raises(PermissionDenied):
+            authz.remove_container(bob_cred, cid)
+
+    def test_unknown_container(self, authz, alice_cred):
+        from repro.lwfs import ContainerID
+
+        with pytest.raises(NoSuchContainer):
+            authz.get_caps(alice_cred, ContainerID(999), OpMask.READ)
+
+
+class TestGetCaps:
+    def test_owner_gets_any_ops(self, authz, alice_cred):
+        cid = authz.create_container(alice_cred)
+        cap = authz.get_caps(alice_cred, cid, OpMask.ALL)
+        assert cap.grants(OpMask.ALL)
+        assert cap.cid == cid
+
+    def test_acl_limits_ops(self, authz, alice_cred, bob_cred):
+        cid = authz.create_container(alice_cred, acl={UserID("bob"): OpMask.READ})
+        cap = authz.get_caps(bob_cred, cid, OpMask.READ)
+        assert cap.grants(OpMask.READ)
+        with pytest.raises(PermissionDenied):
+            authz.get_caps(bob_cred, cid, OpMask.WRITE)
+
+    def test_no_acl_entry_denies(self, authz, alice_cred, bob_cred):
+        cid = authz.create_container(alice_cred)
+        with pytest.raises(PermissionDenied):
+            authz.get_caps(bob_cred, cid, OpMask.READ)
+
+    def test_cap_set_issues_separate_caps(self, authz, alice_cred):
+        cid = authz.create_container(alice_cred)
+        caps = authz.get_cap_set(alice_cred, cid, [OpMask.READ, OpMask.WRITE | OpMask.CREATE])
+        assert len(caps) == 2
+        assert caps[0].grants(OpMask.READ) and not caps[0].grants(OpMask.WRITE)
+        assert caps[1].grants(OpMask.WRITE | OpMask.CREATE)
+
+
+class TestVerify:
+    def test_genuine_cap_verifies(self, authz, alice_cred):
+        cid = authz.create_container(alice_cred)
+        cap = authz.get_caps(alice_cred, cid, OpMask.RW)
+        verified = authz.verify(cap)
+        assert verified.cid == cid
+        assert verified.ops == OpMask.RW
+
+    def test_forged_signature_rejected(self, authz, alice_cred):
+        import secrets
+
+        cid = authz.create_container(alice_cred)
+        cap = authz.get_caps(alice_cred, cid, OpMask.RW)
+        forged = dataclasses.replace(cap, signature=secrets.token_bytes(32))
+        with pytest.raises(CapabilityInvalid):
+            authz.verify(forged)
+
+    def test_escalated_ops_rejected(self, authz, alice_cred):
+        cid = authz.create_container(alice_cred)
+        cap = authz.get_caps(alice_cred, cid, OpMask.READ)
+        escalated = dataclasses.replace(cap, ops=OpMask.ALL)
+        with pytest.raises(CapabilityInvalid):
+            authz.verify(escalated)
+
+    def test_cap_expires_with_lifetime(self, authn, clock, alice_cred):
+        from repro.lwfs import AuthorizationService
+
+        authz = AuthorizationService(authn, clock=clock, cap_lifetime=10.0)
+        cid = authz.create_container(alice_cred)
+        cap = authz.get_caps(alice_cred, cid, OpMask.READ)
+        clock.advance(11.0)
+        with pytest.raises(CapabilityExpired):
+            authz.verify(cap)
+
+    def test_epoch_restart_invalidates_everything(self, authz, alice_cred):
+        cid = authz.create_container(alice_cred)
+        cap = authz.get_caps(alice_cred, cid, OpMask.READ)
+        authz.restart()
+        with pytest.raises(CapabilityExpired, match="epoch"):
+            authz.verify(cap)
+
+    def test_verify_of_removed_container(self, authz, alice_cred):
+        cid = authz.create_container(alice_cred)
+        cap = authz.get_caps(alice_cred, cid, OpMask.READ)
+        # remove revokes, so the revoked check fires first; both are
+        # authorization failures.
+        authz.remove_container(alice_cred, cid)
+        with pytest.raises((NoSuchContainer, CapabilityRevoked)):
+            authz.verify(cap)
+
+
+class TestRevocation:
+    def test_revoke_matching_ops_only(self, authz, alice_cred):
+        """§3.1.4: revoke write caps while read caps keep working."""
+        cid = authz.create_container(alice_cred)
+        rcap = authz.get_caps(alice_cred, cid, OpMask.READ)
+        wcap = authz.get_caps(alice_cred, cid, OpMask.WRITE)
+        victims, _ = authz.revoke(cid, OpMask.WRITE)
+        assert victims == [wcap.serial]
+        with pytest.raises(CapabilityRevoked):
+            authz.verify(wcap)
+        assert authz.verify(rcap).ops == OpMask.READ
+
+    def test_revoke_hits_overlapping_caps(self, authz, alice_cred):
+        cid = authz.create_container(alice_cred)
+        rw = authz.get_caps(alice_cred, cid, OpMask.RW)
+        authz.revoke(cid, OpMask.WRITE)
+        with pytest.raises(CapabilityRevoked):
+            authz.verify(rw)
+
+    def test_revoke_scoped_to_uid(self, authz, alice_cred, bob_cred):
+        cid = authz.create_container(alice_cred, acl={UserID("bob"): OpMask.READ})
+        a = authz.get_caps(alice_cred, cid, OpMask.READ)
+        b = authz.get_caps(bob_cred, cid, OpMask.READ)
+        authz.revoke(cid, OpMask.READ, uid=UserID("bob"))
+        with pytest.raises(CapabilityRevoked):
+            authz.verify(b)
+        assert authz.verify(a)
+
+    def test_back_pointers_notify_caching_servers(self, authz, alice_cred):
+        invalidated = []
+        authz.register_server("s0", lambda cid, serials: invalidated.append(("s0", serials)))
+        authz.register_server("s1", lambda cid, serials: invalidated.append(("s1", serials)))
+        cid = authz.create_container(alice_cred)
+        cap = authz.get_caps(alice_cred, cid, OpMask.WRITE)
+        authz.verify(cap, server_id="s0")  # only s0 caches it
+        victims, notified = authz.revoke(cid, OpMask.WRITE)
+        assert notified == ["s0"]
+        assert invalidated == [("s0", [cap.serial])]
+
+    def test_revoke_without_victims_notifies_nobody(self, authz, alice_cred):
+        cid = authz.create_container(alice_cred)
+        victims, notified = authz.revoke(cid, OpMask.WRITE)
+        assert victims == [] and notified == []
+
+
+class TestChmod:
+    def test_set_acl_revokes_lost_rights(self, authz, alice_cred, bob_cred):
+        cid = authz.create_container(alice_cred, acl={UserID("bob"): OpMask.RW})
+        bob_cap = authz.get_caps(bob_cred, cid, OpMask.RW)
+        # chmod: bob drops to read-only.
+        authz.set_acl(alice_cred, cid, {UserID("bob"): OpMask.READ})
+        with pytest.raises(CapabilityRevoked):
+            authz.verify(bob_cap)
+        # bob can re-acquire a read cap under the new policy.
+        assert authz.verify(authz.get_caps(bob_cred, cid, OpMask.READ))
+        with pytest.raises(PermissionDenied):
+            authz.get_caps(bob_cred, cid, OpMask.WRITE)
+
+    def test_set_acl_keeps_surviving_rights_valid(self, authz, alice_cred, bob_cred):
+        cid = authz.create_container(alice_cred, acl={UserID("bob"): OpMask.RW})
+        read_cap = authz.get_caps(bob_cred, cid, OpMask.READ)
+        authz.set_acl(alice_cred, cid, {UserID("bob"): OpMask.READ})
+        assert authz.verify(read_cap)
+
+    def test_only_owner_may_chmod(self, authz, alice_cred, bob_cred):
+        cid = authz.create_container(alice_cred)
+        with pytest.raises(PermissionDenied):
+            authz.set_acl(bob_cred, cid, {})
+
+    def test_owner_never_locked_out(self, authz, alice_cred):
+        cid = authz.create_container(alice_cred)
+        authz.set_acl(alice_cred, cid, {})
+        assert authz.get_acl(cid)[UserID("alice")] == OpMask.ALL

@@ -1,0 +1,114 @@
+"""Capability structure: op masks, signatures, unforgeability."""
+
+import dataclasses
+import secrets
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lwfs import Capability, ContainerID, OpMask, UserID, sign_capability
+
+
+class TestOpMask:
+    def test_all_contains_every_op(self):
+        for op in (OpMask.READ, OpMask.WRITE, OpMask.CREATE, OpMask.REMOVE,
+                   OpMask.GETATTR, OpMask.SETATTR, OpMask.LIST):
+            assert op in OpMask.ALL
+
+    def test_rw_union(self):
+        assert OpMask.RW == OpMask.READ | OpMask.WRITE
+        assert OpMask.CREATE not in OpMask.RW
+
+    def test_describe(self):
+        assert OpMask.NONE.describe() == "none"
+        assert "read" in OpMask.RW.describe()
+        assert "write" in OpMask.RW.describe()
+
+
+class TestGrants:
+    def test_grants_subset(self):
+        secret = secrets.token_bytes(32)
+        cap = Capability.issue(secret, ContainerID(1), OpMask.RW, UserID("u"), 1, 1e9)
+        assert cap.grants(OpMask.READ)
+        assert cap.grants(OpMask.RW)
+        assert not cap.grants(OpMask.CREATE)
+        assert not cap.grants(OpMask.RW | OpMask.CREATE)
+
+    def test_grants_none_is_trivially_true(self):
+        secret = secrets.token_bytes(32)
+        cap = Capability.issue(secret, ContainerID(1), OpMask.READ, UserID("u"), 1, 1e9)
+        assert cap.grants(OpMask.NONE)
+
+
+class TestSignature:
+    SECRET = secrets.token_bytes(32)
+
+    def _cap(self, **overrides):
+        cap = Capability.issue(
+            self.SECRET, ContainerID(7), OpMask.RW, UserID("alice"), epoch=1, expires_at=100.0
+        )
+        if overrides:
+            cap = dataclasses.replace(cap, **overrides)
+        return cap
+
+    def test_genuine_signature_verifies(self):
+        assert self._cap().signature_ok(self.SECRET)
+
+    def test_wrong_secret_fails(self):
+        assert not self._cap().signature_ok(secrets.token_bytes(32))
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cid", ContainerID(8)),
+            ("ops", OpMask.ALL),
+            ("uid", UserID("mallory")),
+            ("epoch", 2),
+            ("serial", 999_999),
+            ("expires_at", 1e12),
+        ],
+    )
+    def test_any_field_tamper_breaks_signature(self, field, value):
+        tampered = self._cap(**{field: value})
+        assert not tampered.signature_ok(self.SECRET)
+
+    def test_random_signature_fails(self):
+        forged = self._cap(signature=secrets.token_bytes(32))
+        assert not forged.signature_ok(self.SECRET)
+
+    def test_serials_unique(self):
+        a = self._cap()
+        b = Capability.issue(
+            self.SECRET, ContainerID(7), OpMask.RW, UserID("alice"), epoch=1, expires_at=100.0
+        )
+        assert a.serial != b.serial
+
+    def test_cache_key_is_signature(self):
+        cap = self._cap()
+        assert cap.cache_key == cap.signature
+
+
+@given(
+    cid=st.integers(min_value=0, max_value=2**31),
+    ops=st.integers(min_value=0, max_value=int(OpMask.ALL)),
+    epoch=st.integers(min_value=1, max_value=1000),
+    serial=st.integers(min_value=1, max_value=2**31),
+    expires=st.floats(min_value=0, max_value=1e12, allow_nan=False),
+    name=st.text(min_size=1, max_size=16),
+)
+@settings(max_examples=80, deadline=None)
+def test_signature_is_a_function_of_all_fields(cid, ops, epoch, serial, expires, name):
+    """Signing is deterministic; flipping any single field changes it."""
+    secret = b"k" * 32
+    base = sign_capability(secret, ContainerID(cid), OpMask(ops), UserID(name), epoch, serial, expires)
+    again = sign_capability(secret, ContainerID(cid), OpMask(ops), UserID(name), epoch, serial, expires)
+    assert base == again
+    flipped = sign_capability(
+        secret, ContainerID(cid + 1), OpMask(ops), UserID(name), epoch, serial, expires
+    )
+    assert base != flipped
+    other_epoch = sign_capability(
+        secret, ContainerID(cid), OpMask(ops), UserID(name), epoch + 1, serial, expires
+    )
+    assert base != other_epoch

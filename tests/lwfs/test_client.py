@@ -1,0 +1,131 @@
+"""LWFSClient facade: convenience flows, delegation, placement."""
+
+import pytest
+
+from repro.errors import AuthenticationError, CapabilityRevoked, PermissionDenied
+from repro.lwfs import OpMask, UserID
+from repro.storage import SyntheticData, data_equal, piece_bytes
+from repro.units import MiB
+
+
+class TestBasics:
+    def test_bad_login(self, domain):
+        with pytest.raises(AuthenticationError):
+            domain.client("alice", "wrong")
+
+    def test_end_to_end_object_flow(self, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        oid = alice.create_object(cid, attrs={"app": "demo"})
+        data = SyntheticData(2 * MiB, seed=1)
+        alice.write(oid, 0, data)
+        assert data_equal(alice.read(oid, 0, 2 * MiB), data)
+        assert alice.get_attrs(oid)["app"] == "demo"
+        alice.set_attr(oid, "step", 1)
+        assert alice.get_attrs(oid)["step"] == 1
+
+    def test_ops_without_caps_fail_client_side(self, alice):
+        cid = alice.create_container()
+        with pytest.raises(PermissionDenied, match="no capability"):
+            alice.create_object(cid)
+
+    def test_round_robin_placement(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        oids = [alice.create_object(cid) for _ in range(8)]
+        servers = {oid.server_hint for oid in oids}
+        assert servers == {0, 1, 2, 3}
+
+    def test_explicit_placement(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        oid = alice.create_object(cid, server_id=2)
+        assert oid.server_hint == 2
+        assert domain.server(2).store.exists(oid)
+
+    def test_list_objects_across_servers(self, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        oids = {alice.create_object(cid) for _ in range(6)}
+        assert set(alice.list_objects(cid)) == oids
+
+    def test_remove_object(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        oid = alice.create_object(cid)
+        alice.remove_object(oid)
+        assert not any(s.store.exists(oid) for s in domain.servers)
+
+
+class TestNaming:
+    def test_bind_lookup(self, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        oid = alice.create_object(cid)
+        alice.bind("/data/x", oid)
+        assert alice.lookup("/data/x") == oid
+
+
+class TestDelegation:
+    def test_cap_transfer_between_principals(self, domain, alice, bob):
+        """§3.1.2: 'an application may transfer a capability to any
+        process, including processes in other applications.'"""
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        oid = alice.create_object(cid)
+        alice.write(oid, 0, b"shared-results")
+
+        read_cap = domain.authz.get_caps(alice.cred, cid, OpMask.READ | OpMask.GETATTR)
+        bob.adopt_cap(read_cap)
+        assert piece_bytes(bob.read(oid, 0, 14)) == b"shared-results"
+        with pytest.raises(PermissionDenied):
+            bob.write(oid, 0, b"vandalism")
+
+    def test_delegated_cap_dies_on_revocation(self, domain, alice, bob):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        oid = alice.create_object(cid)
+        read_cap = domain.authz.get_caps(alice.cred, cid, OpMask.READ)
+        bob.adopt_cap(read_cap)
+        alice.write(oid, 0, b"x")
+        assert piece_bytes(bob.read(oid, 0, 1)) == b"x"
+        domain.authz.revoke(cid, OpMask.READ)
+        with pytest.raises(CapabilityRevoked):
+            bob.read(oid, 0, 1)
+
+    def test_chmod_via_client(self, domain, alice, bob):
+        cid = alice.create_container(acl={UserID("bob"): OpMask.RW | OpMask.CREATE})
+        alice.get_caps(cid, OpMask.ALL)
+        bob.get_caps(cid, OpMask.RW | OpMask.CREATE)
+        oid = bob.create_object(cid)
+        bob.write(oid, 0, b"bob was here")
+        alice.chmod(cid, {UserID("bob"): OpMask.READ})
+        with pytest.raises(CapabilityRevoked):
+            bob.write(oid, 0, b"again")
+
+
+class TestCapCaching:
+    def test_cap_for_checks_grants(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.READ)
+        with pytest.raises(PermissionDenied):
+            alice.cap_for(cid, OpMask.WRITE)
+
+    def test_stronger_cap_replaces_weaker(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.READ)
+        alice.get_caps(cid, OpMask.ALL)
+        assert alice.cap_for(cid, OpMask.WRITE).grants(OpMask.WRITE)
+
+    def test_weaker_cap_does_not_clobber_stronger(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        alice.get_caps(cid, OpMask.READ)  # acquiring extra read-only cap
+        assert alice.cap_for(cid, OpMask.WRITE).grants(OpMask.WRITE)
+
+    def test_drop_caps(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        alice.drop_caps(cid)
+        with pytest.raises(PermissionDenied):
+            alice.cap_for(cid, OpMask.READ)

@@ -1,0 +1,119 @@
+"""Lock service: modes, ranges, queueing, fairness."""
+
+import pytest
+
+from repro.errors import LockConflict, LockError
+from repro.lwfs import LockMode, LockService
+
+
+@pytest.fixture
+def locks():
+    return LockService()
+
+
+class TestModes:
+    def test_shared_locks_coexist(self, locks):
+        l1, g1 = locks.acquire("obj", LockMode.SHARED, owner="a")
+        l2, g2 = locks.acquire("obj", LockMode.SHARED, owner="b")
+        assert g1 and g2
+        assert len(locks.holders("obj")) == 2
+
+    def test_exclusive_blocks_shared(self, locks):
+        locks.acquire("obj", LockMode.EXCLUSIVE, owner="a")
+        with pytest.raises(LockConflict):
+            locks.acquire("obj", LockMode.SHARED, owner="b")
+
+    def test_shared_blocks_exclusive(self, locks):
+        locks.acquire("obj", LockMode.SHARED, owner="a")
+        with pytest.raises(LockConflict):
+            locks.acquire("obj", LockMode.EXCLUSIVE, owner="b")
+
+    def test_different_resources_independent(self, locks):
+        locks.acquire("x", LockMode.EXCLUSIVE, owner="a")
+        _, granted = locks.acquire("y", LockMode.EXCLUSIVE, owner="b")
+        assert granted
+
+
+class TestByteRanges:
+    def test_disjoint_exclusive_ranges_coexist(self, locks):
+        _, g1 = locks.acquire("f", LockMode.EXCLUSIVE, "a", byte_range=(0, 100))
+        _, g2 = locks.acquire("f", LockMode.EXCLUSIVE, "b", byte_range=(100, 200))
+        assert g1 and g2
+
+    def test_overlapping_exclusive_conflicts(self, locks):
+        locks.acquire("f", LockMode.EXCLUSIVE, "a", byte_range=(0, 100))
+        with pytest.raises(LockConflict):
+            locks.acquire("f", LockMode.EXCLUSIVE, "b", byte_range=(50, 150))
+
+    def test_whole_resource_conflicts_with_any_range(self, locks):
+        locks.acquire("f", LockMode.EXCLUSIVE, "a")  # no range = everything
+        with pytest.raises(LockConflict):
+            locks.acquire("f", LockMode.EXCLUSIVE, "b", byte_range=(500, 600))
+
+    def test_empty_range_rejected(self, locks):
+        with pytest.raises(LockError):
+            locks.acquire("f", LockMode.SHARED, "a", byte_range=(5, 5))
+
+
+class TestQueueing:
+    def test_waiter_woken_on_release(self, locks):
+        woken = []
+        held, _ = locks.acquire("obj", LockMode.EXCLUSIVE, "a")
+        pending, granted = locks.acquire(
+            "obj", LockMode.EXCLUSIVE, "b", wait=True, wake=woken.append
+        )
+        assert not granted
+        assert locks.queue_length("obj") == 1
+        locks.release(held)
+        assert woken == [pending]
+        assert locks.holders("obj")[0].owner == "b"
+
+    def test_fifo_fairness_no_starvation(self, locks):
+        """A shared request behind a queued exclusive must wait its turn."""
+        order = []
+        s1, _ = locks.acquire("obj", LockMode.SHARED, "a")
+        locks.acquire("obj", LockMode.EXCLUSIVE, "b", wait=True, wake=lambda l: order.append("b"))
+        # A new shared request must NOT jump past the queued exclusive.
+        locks.acquire("obj", LockMode.SHARED, "c", wait=True, wake=lambda l: order.append("c"))
+        locks.release(s1)
+        assert order[0] == "b"
+
+    def test_batched_shared_grants(self, locks):
+        order = []
+        x, _ = locks.acquire("obj", LockMode.EXCLUSIVE, "a")
+        for name in ("r1", "r2"):
+            locks.acquire(
+                "obj", LockMode.SHARED, name, wait=True, wake=lambda l, n=name: order.append(n)
+            )
+        locks.release(x)
+        assert sorted(order) == ["r1", "r2"]  # both readers admitted together
+
+
+class TestRelease:
+    def test_release_unknown_lock(self, locks):
+        lock, _ = locks.acquire("obj", LockMode.SHARED, "a")
+        locks.release(lock)
+        with pytest.raises(LockError):
+            locks.release(lock)
+
+    def test_release_owner_sweeps_everything(self, locks):
+        locks.acquire("x", LockMode.SHARED, "a")
+        locks.acquire("y", LockMode.EXCLUSIVE, "a")
+        locks.acquire("z", LockMode.SHARED, "b")
+        assert locks.release_owner("a") == 2
+        assert locks.holders("x") == []
+        assert len(locks.holders("z")) == 1
+
+    def test_reentrant_same_owner_same_range(self, locks):
+        _, g1 = locks.acquire("obj", LockMode.EXCLUSIVE, "a")
+        _, g2 = locks.acquire("obj", LockMode.EXCLUSIVE, "a")
+        assert g1 and g2
+
+    def test_stats(self, locks):
+        locks.acquire("obj", LockMode.EXCLUSIVE, "a")
+        try:
+            locks.acquire("obj", LockMode.EXCLUSIVE, "b")
+        except LockConflict:
+            pass
+        assert locks.grants == 1
+        assert locks.conflicts == 1

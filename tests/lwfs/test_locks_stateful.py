@@ -1,0 +1,109 @@
+"""Stateful property test of the lock service.
+
+Hypothesis drives random acquire/release sequences; after every step the
+service must uphold its safety invariants:
+
+* no two granted locks conflict (exclusive excludes overlapping ranges),
+* a queued waiter is granted at the moment its conflicts disappear,
+* accounting (grants/queue lengths) matches the visible state.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.lwfs import LockMode, LockService
+from repro.lwfs.locks import _ranges_overlap
+
+RESOURCES = ["objA", "objB"]
+OWNERS = ["p0", "p1", "p2"]
+RANGES = [None, (0, 100), (50, 150), (100, 200)]
+
+
+class LockMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.svc = LockService()
+        self.granted = []  # Lock objects we hold
+        self.waiting = []  # (lock, woken list)
+
+    @rule(
+        resource=st.sampled_from(RESOURCES),
+        owner=st.sampled_from(OWNERS),
+        mode=st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE]),
+        byte_range=st.sampled_from(RANGES),
+    )
+    def acquire(self, resource, owner, mode, byte_range):
+        woken = []
+        lock, granted = self.svc.acquire(
+            resource, mode, owner, byte_range=byte_range, wait=True, wake=woken.append
+        )
+        if granted:
+            self.granted.append(lock)
+        else:
+            self.waiting.append((lock, woken))
+
+    @rule(data=st.data())
+    def release_one(self, data):
+        if not self.granted:
+            return
+        index = data.draw(st.integers(min_value=0, max_value=len(self.granted) - 1))
+        lock = self.granted.pop(index)
+        self.svc.release(lock)
+        # Collect any waiters the release promoted.
+        still_waiting = []
+        for waiter, woken in self.waiting:
+            if woken:
+                self.granted.append(waiter)
+            else:
+                still_waiting.append((waiter, woken))
+        self.waiting = still_waiting
+
+    @invariant()
+    def no_conflicting_grants(self):
+        for resource in RESOURCES:
+            holders = self.svc.holders(resource)
+            for i, a in enumerate(holders):
+                for b in holders[i + 1 :]:
+                    if a.owner == b.owner and a.byte_range == b.byte_range:
+                        continue  # re-entrant grant
+                    if not _ranges_overlap(a.byte_range, b.byte_range):
+                        continue
+                    assert (
+                        a.mode is LockMode.SHARED and b.mode is LockMode.SHARED
+                    ), f"conflicting grants coexist: {a} vs {b}"
+
+    @invariant()
+    def our_view_matches_service(self):
+        ours = sorted(l.lock_id for l in self.granted)
+        theirs = sorted(
+            l.lock_id for resource in RESOURCES for l in self.svc.holders(resource)
+        )
+        assert ours == theirs
+
+    @invariant()
+    def queue_accounting(self):
+        queued = sum(self.svc.queue_length(r) for r in RESOURCES)
+        assert queued == len(self.waiting)
+
+    def teardown(self):
+        # Drain: releasing everything must eventually grant every waiter.
+        rounds = 0
+        while self.granted and rounds < 1000:
+            lock = self.granted.pop()
+            self.svc.release(lock)
+            still = []
+            for waiter, woken in self.waiting:
+                if woken:
+                    self.granted.append(waiter)
+                else:
+                    still.append((waiter, woken))
+            self.waiting = still
+            rounds += 1
+        assert not self.waiting, "waiters left stranded after full drain"
+
+
+TestLockServiceStateful = LockMachine.TestCase
+TestLockServiceStateful.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,133 @@
+"""Naming service: paths, directories, rename, transactional binds."""
+
+import pytest
+
+from repro.errors import NameExists, NamingError, NoSuchName
+from repro.lwfs import NamingService, ObjectID, TxnID, split_path
+
+
+@pytest.fixture
+def ns():
+    return NamingService()
+
+
+TARGET = (ObjectID(1, server_hint=0), 0)
+
+
+class TestSplitPath:
+    def test_normalizes(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+        assert split_path("/a//b/") == ["a", "b"]
+        assert split_path("/") == []
+
+    def test_relative_rejected(self):
+        with pytest.raises(NamingError):
+            split_path("a/b")
+
+    def test_dots_rejected(self):
+        with pytest.raises(NamingError):
+            split_path("/a/../b")
+        with pytest.raises(NamingError):
+            split_path("/a/./b")
+
+
+class TestBinding:
+    def test_bind_and_lookup(self, ns):
+        ns.create_name("/ckpt/run1/step5", TARGET)
+        assert ns.lookup("/ckpt/run1/step5") == TARGET
+
+    def test_parent_dirs_autocreated(self, ns):
+        ns.create_name("/deep/ly/nested/name", TARGET)
+        assert ns.list_dir("/deep/ly/nested") == ["name"]
+
+    def test_duplicate_bind_rejected(self, ns):
+        ns.create_name("/x", TARGET)
+        with pytest.raises(NameExists):
+            ns.create_name("/x", TARGET)
+
+    def test_lookup_missing(self, ns):
+        with pytest.raises(NoSuchName):
+            ns.lookup("/ghost")
+
+    def test_lookup_directory_rejected(self, ns):
+        ns.create_name("/d/file", TARGET)
+        with pytest.raises(NamingError):
+            ns.lookup("/d")
+
+    def test_exists(self, ns):
+        ns.create_name("/a/b", TARGET)
+        assert ns.exists("/a/b")
+        assert ns.exists("/a")
+        assert not ns.exists("/a/c")
+
+    def test_bind_through_file_rejected(self, ns):
+        ns.create_name("/f", TARGET)
+        with pytest.raises(NamingError):
+            ns.create_name("/f/child", TARGET)
+
+
+class TestRemoveRename:
+    def test_remove(self, ns):
+        ns.create_name("/x", TARGET)
+        ns.remove_name("/x")
+        assert not ns.exists("/x")
+
+    def test_remove_missing(self, ns):
+        with pytest.raises(NoSuchName):
+            ns.remove_name("/nope")
+
+    def test_remove_nonempty_dir_rejected(self, ns):
+        ns.create_name("/d/f", TARGET)
+        with pytest.raises(NamingError):
+            ns.remove_name("/d")
+
+    def test_remove_empty_dir(self, ns):
+        ns.create_dir("/empty")
+        ns.remove_name("/empty")
+        assert not ns.exists("/empty")
+
+    def test_rename(self, ns):
+        ns.create_name("/old/name", TARGET)
+        ns.rename("/old/name", "/new/place")
+        assert ns.lookup("/new/place") == TARGET
+        assert not ns.exists("/old/name")
+
+    def test_rename_over_existing_rejected(self, ns):
+        ns.create_name("/a", TARGET)
+        ns.create_name("/b", TARGET)
+        with pytest.raises(NameExists):
+            ns.rename("/a", "/b")
+
+    def test_create_dir_duplicate(self, ns):
+        ns.create_dir("/d")
+        with pytest.raises(NameExists):
+            ns.create_dir("/d")
+
+
+class TestTransactions:
+    def test_abort_unbinds(self, ns):
+        txn = TxnID(1)
+        ns.txn_begin(txn)
+        ns.create_name("/ckpt/1", TARGET, txnid=txn)
+        ns.txn_abort(txn)
+        assert not ns.exists("/ckpt/1")
+
+    def test_commit_keeps_binding(self, ns):
+        txn = TxnID(2)
+        ns.txn_begin(txn)
+        ns.create_name("/ckpt/2", TARGET, txnid=txn)
+        assert ns.txn_prepare(txn)
+        ns.txn_commit(txn)
+        assert ns.lookup("/ckpt/2") == TARGET
+
+    def test_abort_without_join_is_noop(self, ns):
+        ns.txn_abort(TxnID(9))
+
+    def test_non_txn_binds_survive_other_txn_abort(self, ns):
+        txn = TxnID(3)
+        ns.txn_begin(txn)
+        ns.create_name("/durable", TARGET)
+        ns.create_name("/tentative", TARGET, txnid=txn)
+        ns.txn_abort(txn)
+        assert ns.exists("/durable")
+        assert not ns.exists("/tentative")

@@ -1,0 +1,179 @@
+"""NASD/T10 shared-key verification mode vs. the LWFS caching scheme.
+
+§3.1.2: "The problem with this approach is that the authorization server
+has to trust the storage server ...  Our caching scheme only allows the
+storage server to verify previously authorized capabilities."  These
+tests measure the functional consequences of each choice.
+"""
+
+import dataclasses
+import secrets
+
+import pytest
+
+from repro.errors import CapabilityExpired, CapabilityInvalid, CapabilityRevoked
+from repro.lwfs import Capability, LWFSDomain, OpMask
+from repro.storage import piece_bytes
+
+from .conftest import ManualClock
+
+
+@pytest.fixture
+def shared_domain(clock):
+    return LWFSDomain.create(
+        n_servers=2, users=(("alice", "alice-pw"),), clock=clock, verify_mode="shared-key"
+    )
+
+
+@pytest.fixture
+def caching_domain(clock):
+    return LWFSDomain.create(
+        n_servers=2, users=(("alice", "alice-pw"),), clock=clock, verify_mode="cache"
+    )
+
+
+def test_invalid_mode_rejected(clock):
+    with pytest.raises(ValueError):
+        LWFSDomain.create(verify_mode="quantum", clock=clock)
+
+
+class TestSharedKeyWorks:
+    def test_normal_operation_with_zero_verify_traffic(self, shared_domain):
+        client = shared_domain.client("alice", "alice-pw")
+        cid = client.create_container()
+        client.get_caps(cid, OpMask.ALL)
+        oid = client.create_object(cid)
+        client.write(oid, 0, b"local verification")
+        assert piece_bytes(client.read(oid, 0, 18)) == b"local verification"
+        # The authorization service was never asked to verify anything.
+        assert shared_domain.authz.verify_count == 0
+
+    def test_forged_signature_still_rejected(self, shared_domain):
+        client = shared_domain.client("alice", "alice-pw")
+        cid = client.create_container()
+        cap = client.get_caps(cid, OpMask.ALL)
+        forged = dataclasses.replace(cap, signature=secrets.token_bytes(32))
+        with pytest.raises(CapabilityInvalid):
+            shared_domain.server(0).create_object(forged)
+
+    def test_expiry_still_enforced(self, clock):
+        domain = LWFSDomain.create(
+            n_servers=1, users=(("alice", "alice-pw"),), clock=clock, verify_mode="shared-key"
+        )
+        client = domain.client("alice", "alice-pw")
+        client.auto_refresh = False
+        cid = client.create_container()
+        cap = client.get_caps(cid, OpMask.ALL)
+        clock.advance(domain.authz.cap_lifetime + 1)
+        with pytest.raises(CapabilityExpired):
+            domain.server(0).create_object(cap)
+
+    def test_epoch_restart_enforced(self, shared_domain):
+        client = shared_domain.client("alice", "alice-pw")
+        cid = client.create_container()
+        cap = client.get_caps(cid, OpMask.ALL)
+        shared_domain.authz.restart()
+        with pytest.raises(CapabilityExpired, match="epoch"):
+            shared_domain.server(0).create_object(cap)
+
+
+class TestTheSecurityGap:
+    def test_shared_key_mode_cannot_see_revocation(self, shared_domain):
+        """The paper's core criticism, demonstrated: in shared-key mode a
+        revoked capability keeps working at the storage servers."""
+        client = shared_domain.client("alice", "alice-pw")
+        cid = client.create_container()
+        cap = client.get_caps(cid, OpMask.ALL)
+        svc = shared_domain.server(0)
+        oid = svc.create_object(cap)
+        shared_domain.authz.revoke(cid, OpMask.ALL)
+        # The signature still verifies locally; the server has no idea.
+        svc.write(cap, oid, 0, b"should have been stopped")  # no exception!
+
+    def test_caching_mode_sees_the_same_revocation(self, caching_domain):
+        client = caching_domain.client("alice", "alice-pw")
+        cid = client.create_container()
+        cap = client.get_caps(cid, OpMask.ALL)
+        svc = caching_domain.server(0)
+        oid = svc.create_object(cap)
+        caching_domain.authz.revoke(cid, OpMask.ALL)
+        with pytest.raises(CapabilityRevoked):
+            svc.write(cap, oid, 0, b"stopped")
+
+    def test_key_holder_could_mint_capabilities(self, shared_domain):
+        """Possession of the key is the power to mint (why Fig. 5's trust
+        circles exclude storage servers from the authz service)."""
+        from repro.lwfs.ids import ContainerID, UserID
+
+        svc = shared_domain.server(0)
+        client = shared_domain.client("alice", "alice-pw")
+        cid = client.create_container()
+        minted = Capability.issue(
+            svc.shared_secret,  # a compromised server uses its key copy
+            cid=cid,
+            ops=OpMask.ALL,
+            uid=UserID("mallory"),
+            epoch=shared_domain.authz.epoch,
+            expires_at=1e18,
+        )
+        # Every server in the domain accepts the minted capability.
+        shared_domain.server(1).create_object(minted)
+
+
+class TestAutoRefresh:
+    def test_expired_cap_transparently_renewed(self, clock):
+        domain = LWFSDomain.create(n_servers=1, users=(("alice", "alice-pw"),), clock=clock)
+        client = domain.client("alice", "alice-pw")
+        cid = client.create_container()
+        client.get_caps(cid, OpMask.ALL)
+        oid = client.create_object(cid)
+        clock.advance(domain.authz.cap_lifetime + 1)
+        # Without refresh this write would raise CapabilityExpired.
+        client.write(oid, 0, b"renewed")
+        assert piece_bytes(client.read(oid, 0, 7)) == b"renewed"
+
+    def test_refresh_disabled_surfaces_expiry(self, clock):
+        domain = LWFSDomain.create(n_servers=1, users=(("alice", "alice-pw"),), clock=clock)
+        client = domain.client("alice", "alice-pw")
+        client.auto_refresh = False
+        cid = client.create_container()
+        client.get_caps(cid, OpMask.ALL)
+        oid = client.create_object(cid)
+        clock.advance(domain.authz.cap_lifetime + 1)
+        with pytest.raises(CapabilityExpired):
+            client.write(oid, 0, b"stale")
+
+    def test_adopted_caps_never_auto_refreshed(self, clock):
+        domain = LWFSDomain.create(
+            n_servers=1, users=(("alice", "alice-pw"), ("bob", "bob-pw")), clock=clock
+        )
+        alice = domain.client("alice", "alice-pw")
+        bob = domain.client("bob", "bob-pw")
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        oid = alice.create_object(cid)
+        alice.write(oid, 0, b"x")
+        bob.adopt_cap(domain.authz.get_caps(alice.cred, cid, OpMask.READ))
+        clock.advance(domain.authz.cap_lifetime + 1)
+        # Bob cannot silently re-acquire alice's rights.
+        with pytest.raises(CapabilityExpired):
+            bob.read(oid, 0, 1)
+
+    def test_refresh_does_not_mask_revocation(self, clock):
+        """Refresh re-asks the policy: revoked rights stay revoked."""
+        from repro.errors import PermissionDenied
+        from repro.lwfs import UserID
+
+        domain = LWFSDomain.create(
+            n_servers=1, users=(("alice", "alice-pw"), ("bob", "bob-pw")), clock=clock
+        )
+        alice = domain.client("alice", "alice-pw")
+        bob = domain.client("bob", "bob-pw")
+        cid = alice.create_container(acl={UserID("bob"): OpMask.ALL})
+        alice.get_caps(cid, OpMask.ALL)
+        bob.get_caps(cid, OpMask.WRITE | OpMask.CREATE)
+        oid = bob.create_object(cid)
+        alice.chmod(cid, {UserID("bob"): OpMask.READ})
+        clock.advance(domain.authz.cap_lifetime + 1)
+        with pytest.raises((PermissionDenied, CapabilityExpired)):
+            bob.write(oid, 0, b"denied")

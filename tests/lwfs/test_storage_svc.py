@@ -1,0 +1,235 @@
+"""Storage service: enforcement at the edge, verify cache, txn undo."""
+
+import pytest
+
+from repro.errors import (
+    AuthorizationError,
+    CapabilityRevoked,
+    PermissionDenied,
+    TransactionError,
+)
+from repro.lwfs import LWFSDomain, OpMask
+from repro.storage import SyntheticData, data_equal, piece_bytes
+
+
+@pytest.fixture
+def setup(domain, alice):
+    cid = alice.create_container()
+    cap = alice.get_caps(cid, OpMask.ALL)
+    svc = domain.server(0)
+    return domain, cid, cap, svc
+
+
+class TestEnforcement:
+    def test_missing_cap_denied(self, setup):
+        _, _, cap, svc = setup
+        with pytest.raises(PermissionDenied, match="no capability"):
+            svc.create_object(None)
+
+    def test_insufficient_ops_denied(self, domain, alice):
+        cid = alice.create_container()
+        read_cap = domain.authz.get_caps(alice.cred, cid, OpMask.READ)
+        svc = domain.server(0)
+        with pytest.raises(PermissionDenied, match="needs create"):
+            svc.create_object(read_cap)
+
+    def test_wrong_container_denied(self, domain, alice):
+        cid_a = alice.create_container()
+        cid_b = alice.create_container()
+        cap_a = domain.authz.get_caps(alice.cred, cid_a, OpMask.ALL)
+        cap_b = domain.authz.get_caps(alice.cred, cid_b, OpMask.ALL)
+        svc = domain.server(0)
+        oid = svc.create_object(cap_a)
+        with pytest.raises(PermissionDenied, match="lives in"):
+            svc.write(cap_b, oid, 0, b"x")
+
+    def test_enforcement_is_possession_based(self, setup, bob):
+        """Capabilities are transferable: bob can use alice's cap."""
+        domain, cid, cap, svc = setup
+        oid = svc.create_object(cap)  # "bob" presenting alice's cap
+        svc.write(cap, oid, 0, b"delegated")
+        assert piece_bytes(svc.read(cap, oid, 0, 9)) == b"delegated"
+
+    def test_enforcement_disabled_mode(self):
+        from repro.lwfs import StorageService
+
+        svc = StorageService(server_id=0, enforce=False)
+        oid = svc.create_object(None)  # trusted-embedding mode
+        assert svc.store.exists(oid)
+
+
+class TestVerifyCache:
+    def test_miss_then_hits(self, setup):
+        domain, cid, cap, svc = setup
+        svc.create_object(cap)
+        misses_after_first = svc.cache.misses
+        svc.create_object(cap)
+        svc.create_object(cap)
+        assert svc.cache.misses == misses_after_first
+        assert svc.cache.hits >= 2
+
+    def test_verify_rpc_count_one_per_cap_per_server(self, domain, alice):
+        """The amortized-analysis invariant (§3.1.2)."""
+        cid = alice.create_container()
+        cap = domain.authz.get_caps(alice.cred, cid, OpMask.ALL)
+        before = domain.authz.verify_count
+        svc = domain.server(0)
+        for _ in range(20):
+            svc.create_object(cap)
+        assert domain.authz.verify_count == before + 1
+
+    def test_cache_disabled_verifies_every_time(self, clock):
+        domain = LWFSDomain.create(n_servers=1, users=(("u", "p"),), cache_enabled=False, clock=clock)
+        client = domain.client("u", "p")
+        cid = client.create_container()
+        cap = domain.authz.get_caps(client.cred, cid, OpMask.ALL)
+        before = domain.authz.verify_count
+        svc = domain.server(0)
+        for _ in range(5):
+            svc.create_object(cap)
+        assert domain.authz.verify_count == before + 5
+
+    def test_invalidation_forces_reverify(self, setup):
+        domain, cid, cap, svc = setup
+        svc.create_object(cap)
+        assert len(svc.cache) == 1
+        svc.invalidate_cached(cid, [cap.serial])
+        assert len(svc.cache) == 0
+        svc.create_object(cap)  # re-verifies successfully
+        assert len(svc.cache) == 1
+
+    def test_no_verifier_and_cold_cache_is_error(self, setup):
+        from repro.lwfs import StorageService
+
+        domain, cid, cap, _ = setup
+        lone = StorageService(server_id=9, verifier=None)
+        with pytest.raises(AuthorizationError, match="no verifier"):
+            lone.create_object(cap)
+
+    def test_revocation_end_to_end(self, setup):
+        domain, cid, cap, svc = setup
+        oid = svc.create_object(cap)
+        svc.write(cap, oid, 0, b"ok")
+        domain.authz.revoke(cid, OpMask.WRITE)
+        with pytest.raises(CapabilityRevoked):
+            svc.write(cap, oid, 0, b"denied")
+
+
+class TestDataOps:
+    def test_write_read_roundtrip(self, setup):
+        _, _, cap, svc = setup
+        oid = svc.create_object(cap)
+        data = SyntheticData(1 << 20, seed=4)
+        svc.write(cap, oid, 0, data)
+        assert data_equal(svc.read(cap, oid, 0, 1 << 20), data)
+
+    def test_attrs(self, setup):
+        _, _, cap, svc = setup
+        oid = svc.create_object(cap, attrs={"kind": "meta"})
+        svc.set_attr(cap, oid, "step", 12)
+        attrs = svc.get_attrs(cap, oid)
+        assert attrs["kind"] == "meta" and attrs["step"] == 12
+
+    def test_list_objects(self, setup):
+        _, cid, cap, svc = setup
+        oids = [svc.create_object(cap) for _ in range(3)]
+        assert sorted(svc.list_objects(cap)) == sorted(oids)
+
+    def test_remove(self, setup):
+        _, _, cap, svc = setup
+        oid = svc.create_object(cap)
+        svc.remove_object(cap, oid)
+        assert not svc.store.exists(oid)
+
+
+class TestTransactions:
+    def test_abort_removes_created_objects(self, setup):
+        from repro.lwfs import TxnID
+
+        _, _, cap, svc = setup
+        txn = TxnID(1)
+        svc.txn_begin(txn)
+        oid = svc.create_object(cap, txnid=txn)
+        svc.write(cap, oid, 0, b"scratch", txnid=txn)
+        svc.txn_abort(txn)
+        assert not svc.store.exists(oid)
+
+    def test_abort_restores_overwritten_data(self, setup):
+        from repro.lwfs import TxnID
+
+        _, _, cap, svc = setup
+        oid = svc.create_object(cap)
+        svc.write(cap, oid, 0, b"original!")
+        txn = TxnID(2)
+        svc.txn_begin(txn)
+        svc.write(cap, oid, 0, b"OVERWRITE", txnid=txn)
+        svc.write(cap, oid, 9, b"-extended", txnid=txn)
+        svc.txn_abort(txn)
+        assert piece_bytes(svc.read(cap, oid, 0, 9)) == b"original!"
+        assert svc.get_attrs(cap, oid)["size"] == 9
+
+    def test_abort_restores_removed_object(self, setup):
+        from repro.lwfs import TxnID
+
+        _, _, cap, svc = setup
+        oid = svc.create_object(cap)
+        svc.write(cap, oid, 0, b"precious")
+        txn = TxnID(3)
+        svc.txn_begin(txn)
+        svc.remove_object(cap, oid, txnid=txn)
+        assert not svc.store.exists(oid)
+        svc.txn_abort(txn)
+        assert piece_bytes(svc.read(cap, oid, 0, 8)) == b"precious"
+
+    def test_abort_restores_attrs(self, setup):
+        from repro.lwfs import TxnID
+
+        _, _, cap, svc = setup
+        oid = svc.create_object(cap)
+        svc.set_attr(cap, oid, "k", "old")
+        txn = TxnID(4)
+        svc.txn_begin(txn)
+        svc.set_attr(cap, oid, "k", "new", txnid=txn)
+        svc.set_attr(cap, oid, "fresh", 1, txnid=txn)
+        svc.txn_abort(txn)
+        attrs = svc.get_attrs(cap, oid)
+        assert attrs["k"] == "old"
+        assert "fresh" not in attrs
+
+    def test_commit_makes_effects_permanent(self, setup):
+        from repro.lwfs import TxnID
+
+        _, _, cap, svc = setup
+        txn = TxnID(5)
+        svc.txn_begin(txn)
+        oid = svc.create_object(cap, txnid=txn)
+        assert svc.txn_prepare(txn) is True
+        svc.txn_commit(txn)
+        assert svc.store.exists(oid)
+        svc.txn_abort(txn)  # idempotent no-op after resolution
+        assert svc.store.exists(oid)
+
+    def test_prepare_unknown_txn(self, setup):
+        from repro.lwfs import TxnID
+
+        _, _, _, svc = setup
+        with pytest.raises(TransactionError):
+            svc.txn_prepare(TxnID(99))
+
+    def test_commit_without_prepare_allowed_one_phase(self, setup):
+        from repro.lwfs import TxnID
+
+        _, _, cap, svc = setup
+        txn = TxnID(6)
+        svc.txn_begin(txn)
+        svc.create_object(cap, txnid=txn)
+        svc.txn_commit(txn)  # single-participant fast path
+
+    def test_begin_is_idempotent(self, setup):
+        from repro.lwfs import TxnID
+
+        _, _, _, svc = setup
+        txn = TxnID(7)
+        svc.txn_begin(txn)
+        svc.txn_begin(txn)  # second announce from another rank
+        assert svc.txn_joined(txn)

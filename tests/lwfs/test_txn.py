@@ -1,0 +1,162 @@
+"""Two-phase commit coordination across storage and naming participants."""
+
+import pytest
+
+from repro.errors import TransactionAborted, TransactionError
+from repro.lwfs import (
+    Journal,
+    LWFSDomain,
+    NamingService,
+    OpMask,
+    TxnCoordinator,
+)
+from repro.storage import ObjectStore, piece_bytes
+
+
+class VetoingParticipant:
+    """A participant that votes NO at prepare."""
+
+    def __init__(self):
+        self.aborted = False
+
+    def txn_begin(self, txnid):
+        pass
+
+    def txn_prepare(self, txnid):
+        return False
+
+    def txn_commit(self, txnid):  # pragma: no cover - must not happen
+        raise AssertionError("commit after veto")
+
+    def txn_abort(self, txnid):
+        self.aborted = True
+
+
+class CrashingParticipant(VetoingParticipant):
+    def txn_prepare(self, txnid):
+        raise RuntimeError("participant crashed at prepare")
+
+
+class TestCommit:
+    def test_two_servers_commit_atomically(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        txn = alice.begin_txn()
+        o0 = alice.create_object(cid, server_id=0, txnid=txn)
+        o1 = alice.create_object(cid, server_id=1, txnid=txn)
+        alice.write(o0, 0, b"part-a", txnid=txn)
+        alice.write(o1, 0, b"part-b", txnid=txn)
+        alice.end_txn(txn)
+        assert piece_bytes(alice.read(o0, 0, 6)) == b"part-a"
+        assert piece_bytes(alice.read(o1, 0, 6)) == b"part-b"
+
+    def test_naming_joins_the_same_txn(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        txn = alice.begin_txn()
+        oid = alice.create_object(cid, txnid=txn)
+        alice.bind("/ckpt/atomic", oid, txnid=txn)
+        alice.end_txn(txn)
+        assert alice.lookup("/ckpt/atomic") == oid
+
+
+class TestAbort:
+    def test_abort_rolls_back_every_server(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        txn = alice.begin_txn()
+        oids = [alice.create_object(cid, server_id=s, txnid=txn) for s in range(4)]
+        alice.abort_txn(txn)
+        for oid in oids:
+            assert not any(s.store.exists(oid) for s in domain.servers)
+
+    def test_abort_unbinds_names(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        txn = alice.begin_txn()
+        oid = alice.create_object(cid, txnid=txn)
+        alice.bind("/ckpt/ghost", oid, txnid=txn)
+        alice.abort_txn(txn)
+        assert not domain.naming.exists("/ckpt/ghost")
+
+    def test_veto_aborts_everyone(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        txn = alice.begin_txn()
+        oid = alice.create_object(cid, server_id=0, txnid=txn)
+        veto = VetoingParticipant()
+        alice.txns.join(txn, veto)
+        with pytest.raises(TransactionAborted):
+            alice.end_txn(txn)
+        assert veto.aborted
+        assert not domain.server(0).store.exists(oid)
+
+    def test_crashing_participant_counts_as_veto(self, domain, alice):
+        cid = alice.create_container()
+        alice.get_caps(cid, OpMask.ALL)
+        txn = alice.begin_txn()
+        oid = alice.create_object(cid, server_id=1, txnid=txn)
+        alice.txns.join(txn, CrashingParticipant())
+        with pytest.raises(TransactionAborted):
+            alice.end_txn(txn)
+        assert not domain.server(1).store.exists(oid)
+
+
+class TestCoordinatorStateMachine:
+    def test_unknown_txn(self):
+        coord = TxnCoordinator()
+        from repro.lwfs import TxnID
+
+        with pytest.raises(TransactionError):
+            coord.end(TxnID(404))
+
+    def test_double_end_rejected(self, domain, alice):
+        txn = alice.begin_txn()
+        alice.end_txn(txn)
+        with pytest.raises(TransactionError):
+            alice.end_txn(txn)
+
+    def test_abort_after_commit_rejected(self, domain, alice):
+        txn = alice.begin_txn()
+        alice.end_txn(txn)
+        with pytest.raises(TransactionError):
+            alice.abort_txn(txn)
+
+    def test_join_is_idempotent_per_participant(self, domain, alice):
+        ns = NamingService()
+        txn = alice.begin_txn()
+        alice.txns.join(txn, ns)
+        alice.txns.join(txn, ns)
+        assert len(alice.txns._txns[txn].participants) == 1
+        alice.end_txn(txn)
+
+
+class TestJournaledCoordinator:
+    def test_decisions_are_journaled(self):
+        store = ObjectStore()
+        journal = Journal(store, oid="coord-log", cid="sys")
+        coord = TxnCoordinator(journal=journal)
+        txn = coord.begin()
+        coord.end(txn)
+        kinds = [r.kind for r in journal.scan()]
+        assert kinds == ["begin", "prepare", "commit"]
+
+    def test_abort_is_journaled(self):
+        store = ObjectStore()
+        journal = Journal(store, oid="coord-log", cid="sys")
+        coord = TxnCoordinator(journal=journal)
+        txn = coord.begin()
+        coord.abort(txn)
+        assert [r.kind for r in journal.scan()] == ["begin", "abort"]
+        outcome = journal.recover()
+        assert outcome.aborted == [txn.value]
+
+    def test_veto_journal_shows_abort_after_prepare(self):
+        store = ObjectStore()
+        journal = Journal(store, oid="coord-log", cid="sys")
+        coord = TxnCoordinator(journal=journal)
+        txn = coord.begin()
+        coord.join(txn, VetoingParticipant())
+        with pytest.raises(TransactionAborted):
+            coord.end(txn)
+        assert [r.kind for r in journal.scan()] == ["begin", "prepare", "abort"]

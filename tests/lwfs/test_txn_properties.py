@@ -1,0 +1,113 @@
+"""Property test: transaction abort is a perfect snapshot restore.
+
+Any interleaving of create/write/setattr/remove performed inside a
+transaction, over objects that may or may not pre-exist, must leave the
+store byte-identical to its pre-transaction state after abort — and
+byte-identical to "the same ops applied without a transaction" after
+commit.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NoSuchObject, ObjectExists
+from repro.lwfs import LWFSDomain, OpMask, TxnID
+from repro.storage import piece_bytes
+
+
+def snapshot(svc):
+    """Full content snapshot of a storage service's object store."""
+    out = {}
+    for oid in svc.store.list_objects():
+        attrs = svc.store.get_attrs(oid)
+        size = attrs["size"]
+        data = piece_bytes(svc.store.read(oid, 0, size)) if size else b""
+        out[oid] = (data, {k: v for k, v in attrs.items() if k not in ("size", "cid")})
+    return out
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.integers(0, 3)),
+        st.tuples(
+            st.just("write"),
+            st.integers(0, 3),
+            st.integers(0, 40),
+            st.binary(min_size=0, max_size=16),
+        ),
+        st.tuples(st.just("setattr"), st.integers(0, 3), st.sampled_from(["k1", "k2"]),
+                  st.integers(0, 9)),
+        st.tuples(st.just("remove"), st.integers(0, 3)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def apply_ops(svc, cap, operations, oid_pool, txnid=None):
+    """Apply ops, tolerating the naturally-impossible ones."""
+    for op in operations:
+        kind = op[0]
+        slot = op[1]
+        oid = oid_pool.get(slot)
+        try:
+            if kind == "create":
+                if oid is None or not svc.store.exists(oid):
+                    oid_pool[slot] = svc.create_object(cap, txnid=txnid)
+            elif kind == "write" and oid is not None:
+                svc.write(cap, oid, op[2], op[3], txnid=txnid)
+            elif kind == "setattr" and oid is not None:
+                svc.set_attr(cap, oid, op[2], op[3], txnid=txnid)
+            elif kind == "remove" and oid is not None:
+                svc.remove_object(cap, oid, txnid=txnid)
+        except (NoSuchObject, ObjectExists):
+            pass  # op raced with a prior remove/create in the sequence
+
+
+@given(pre_ops=ops_strategy, txn_ops=ops_strategy)
+@settings(max_examples=80, deadline=None)
+def test_abort_restores_pre_transaction_state(pre_ops, txn_ops):
+    domain = LWFSDomain.create(n_servers=1, users=(("u", "p"),))
+    client = domain.client("u", "p")
+    cid = client.create_container()
+    cap = client.get_caps(cid, OpMask.ALL)
+    svc = domain.server(0)
+
+    oid_pool = {}
+    apply_ops(svc, cap, pre_ops, oid_pool)
+    before = snapshot(svc)
+
+    txn = TxnID(777)
+    svc.txn_begin(txn)
+    apply_ops(svc, cap, txn_ops, dict(oid_pool), txnid=txn)
+    svc.txn_abort(txn)
+
+    assert snapshot(svc) == before
+
+
+@given(pre_ops=ops_strategy, txn_ops=ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_commit_equals_untransacted_execution(pre_ops, txn_ops):
+    def run(transactional):
+        domain = LWFSDomain.create(n_servers=1, users=(("u", "p"),))
+        client = domain.client("u", "p")
+        cid = client.create_container()
+        cap = client.get_caps(cid, OpMask.ALL)
+        svc = domain.server(0)
+        oid_pool = {}
+        apply_ops(svc, cap, pre_ops, oid_pool)
+        if transactional:
+            txn = TxnID(778)
+            svc.txn_begin(txn)
+            apply_ops(svc, cap, txn_ops, oid_pool, txnid=txn)
+            assert svc.txn_prepare(txn)
+            svc.txn_commit(txn)
+        else:
+            apply_ops(svc, cap, txn_ops, oid_pool)
+        # Compare by content only: object ids are allocation-order
+        # dependent, content+attrs must match exactly.
+        return sorted(snapshot(svc).values(), key=repr)
+
+    assert run(True) == run(False)

@@ -1,0 +1,94 @@
+"""Presets must encode the paper's Table 1 and Table 2 verbatim."""
+
+import pytest
+
+from repro.machine import (
+    PRESETS,
+    TABLE1_PAPER,
+    TABLE2_PAPER,
+    bluegene_l,
+    dev_cluster,
+    intel_paragon,
+    petaflop,
+    red_storm,
+    table1_rows,
+)
+from repro.units import GiB, MiB, USEC
+
+
+class TestTable1:
+    def test_rows_match_paper_counts(self):
+        for row in table1_rows():
+            assert row["model_compute"] == row["paper_compute"], row["machine"]
+            assert row["model_io"] == row["paper_io"], row["machine"]
+
+    def test_ratios_match_paper(self):
+        # The paper rounds: 1840/32 = 57.5 -> 58, 4510/73 = 61.8 -> 62,
+        # 10368/256 = 40.5 -> 41 (banker's rounding gives 40; the paper
+        # prints 41), 65536/1024 = 64.
+        for row in table1_rows():
+            assert abs(row["model_ratio"] - row["paper_ratio"]) <= 1, row["machine"]
+
+    def test_paper_table_has_four_machines(self):
+        assert len(TABLE1_PAPER) == 4
+
+
+class TestTable2:
+    def test_red_storm_link_bandwidth(self):
+        assert red_storm().compute_spec.nic.bandwidth == TABLE2_PAPER["link_bw_bytes"]
+
+    def test_red_storm_raid_bandwidth(self):
+        assert red_storm().io_spec.storage.bandwidth == TABLE2_PAPER["io_node_raid_bw_bytes"]
+
+    def test_red_storm_one_hop_latency(self):
+        assert red_storm().compute_spec.nic.latency == TABLE2_PAPER["mpi_latency_1hop_s"]
+
+    def test_red_storm_aggregate_io(self):
+        spec = red_storm()
+        aggregate = spec.io_nodes * spec.io_spec.storage.bandwidth
+        # 256 I/O nodes at 400 MB/s = 100 GB/s total = 50 GB/s per end.
+        assert aggregate == pytest.approx(2 * TABLE2_PAPER["aggregate_io_bw_bytes"])
+
+    def test_red_storm_uses_mesh(self):
+        assert red_storm().topology == "mesh3d"
+
+
+class TestDevCluster:
+    def test_node_counts_match_section4(self):
+        spec = dev_cluster()
+        # "We used 1 node for the metadata/authorization server, 8 as
+        # storage servers, and the remaining 31 we used for compute nodes."
+        assert spec.service_nodes == 1
+        assert spec.io_nodes == 8
+        assert spec.compute_nodes == 31
+        assert spec.total_nodes == 40
+
+    def test_calibrated_bandwidths(self):
+        spec = dev_cluster()
+        # 16 servers x per-server RAID bw must land in the paper's
+        # 1.4-1.5 GB/s peak band.
+        peak = 16 * spec.io_spec.storage.bandwidth / MiB
+        assert 1350 <= peak <= 1550
+
+    def test_parameter_overrides(self):
+        spec = dev_cluster(storage_bw=50 * MiB, nic_bw=100 * MiB, nic_latency=1 * USEC)
+        assert spec.io_spec.storage.bandwidth == 50 * MiB
+        assert spec.compute_spec.nic.bandwidth == 100 * MiB
+
+
+class TestOtherPresets:
+    def test_petaflop_matches_section4_thought_experiment(self):
+        spec = petaflop()
+        assert spec.compute_nodes == 100_000
+        assert spec.io_nodes == 2_000
+
+    def test_all_presets_construct(self):
+        for name, factory in PRESETS.items():
+            spec = factory()
+            assert spec.total_nodes > 0, name
+
+    def test_bluegene_is_largest(self):
+        assert bluegene_l().compute_nodes > red_storm().compute_nodes
+
+    def test_paragon_has_no_rdma(self):
+        assert not intel_paragon().compute_spec.nic.rdma

@@ -1,0 +1,99 @@
+"""Machine specification validation and derived quantities."""
+
+import pytest
+
+from repro.machine import (
+    CPUSpec,
+    MachineSpec,
+    NICSpec,
+    NodeKind,
+    NodeSpec,
+    OSKind,
+    StorageSpec,
+    dev_cluster,
+)
+from repro.units import MiB
+
+
+class TestNICSpec:
+    def test_valid(self):
+        nic = NICSpec(bandwidth=100 * MiB, latency=1e-6)
+        assert nic.rdma
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            NICSpec(bandwidth=0, latency=1e-6)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            NICSpec(bandwidth=1, latency=-1)
+
+
+class TestStorageSpec:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            StorageSpec(bandwidth=0)
+        with pytest.raises(ValueError):
+            StorageSpec(bandwidth=1, capacity=0)
+
+
+class TestCPUSpec:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            CPUSpec(cores=0)
+
+
+class TestMachineSpec:
+    def test_ratio(self):
+        spec = dev_cluster()
+        assert spec.compute_io_ratio == pytest.approx(31 / 8)
+
+    def test_total_nodes(self):
+        spec = dev_cluster()
+        assert spec.total_nodes == 31 + 8 + 1
+
+    def test_spec_for_each_kind(self):
+        spec = dev_cluster()
+        assert spec.spec_for(NodeKind.COMPUTE).kind is NodeKind.COMPUTE
+        assert spec.spec_for(NodeKind.IO).storage is not None
+        assert spec.spec_for(NodeKind.SERVICE).kind is NodeKind.SERVICE
+
+    def test_negative_counts_rejected(self):
+        nic = NICSpec(bandwidth=1, latency=0)
+        node = NodeSpec(NodeKind.COMPUTE, OSKind.LINUX, nic)
+        with pytest.raises(ValueError):
+            MachineSpec(
+                name="bad",
+                compute_nodes=-1,
+                io_nodes=0,
+                service_nodes=0,
+                compute_spec=node,
+                io_spec=node,
+                service_spec=node,
+            )
+
+    def test_infinite_ratio_without_io_nodes(self):
+        nic = NICSpec(bandwidth=1, latency=0)
+        node = NodeSpec(NodeKind.COMPUTE, OSKind.LINUX, nic)
+        spec = MachineSpec(
+            name="x",
+            compute_nodes=4,
+            io_nodes=0,
+            service_nodes=0,
+            compute_spec=node,
+            io_spec=node,
+            service_spec=node,
+        )
+        assert spec.compute_io_ratio == float("inf")
+
+    def test_with_storage_replaces(self):
+        nic = NICSpec(bandwidth=1, latency=0)
+        node = NodeSpec(NodeKind.IO, OSKind.LINUX, nic)
+        upgraded = node.with_storage(StorageSpec(bandwidth=5))
+        assert node.storage is None
+        assert upgraded.storage.bandwidth == 5
+
+    def test_summary(self):
+        s = dev_cluster().summary()
+        assert s["name"] == "dev-cluster"
+        assert s["io_nodes"] == 8

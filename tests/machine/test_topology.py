@@ -1,0 +1,82 @@
+"""Topology hop counts: crossbar and 3-D mesh."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Crossbar, Mesh3D, make_topology
+
+
+class TestCrossbar:
+    def test_hops(self):
+        xbar = Crossbar(10)
+        assert xbar.hops(3, 3) == 0
+        assert xbar.hops(0, 9) == 1
+        assert xbar.max_hops() == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Crossbar(0)
+
+
+class TestMesh3D:
+    def test_coords_roundtrip(self):
+        mesh = Mesh3D((3, 4, 5))
+        seen = set()
+        for nid in range(3 * 4 * 5):
+            x, y, z = mesh.coords(nid)
+            assert 0 <= x < 3 and 0 <= y < 4 and 0 <= z < 5
+            seen.add((x, y, z))
+        assert len(seen) == 60
+
+    def test_manhattan_distance(self):
+        mesh = Mesh3D((4, 4, 4))
+        # node 0 is (0,0,0); node 63 is (3,3,3)
+        assert mesh.hops(0, 63) == 9
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 1) == 1
+
+    def test_max_hops(self):
+        assert Mesh3D((4, 4, 4)).max_hops() == 9
+        assert Mesh3D((1, 1, 1)).max_hops() == 0
+
+    def test_fit_covers_requested_nodes(self):
+        for n in (1, 7, 64, 100, 1000):
+            mesh = Mesh3D.fit(n)
+            nx, ny, nz = mesh.dims
+            assert nx * ny * nz >= n
+
+    def test_out_of_range_rejected(self):
+        mesh = Mesh3D((2, 2, 2))
+        with pytest.raises(ValueError):
+            mesh.coords(8)
+
+    @given(
+        dims=st.tuples(
+            st.integers(min_value=1, max_value=6),
+            st.integers(min_value=1, max_value=6),
+            st.integers(min_value=1, max_value=6),
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hops_symmetric_and_triangle(self, dims, data):
+        mesh = Mesh3D(dims)
+        n = dims[0] * dims[1] * dims[2]
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=n - 1))
+        c = data.draw(st.integers(min_value=0, max_value=n - 1))
+        assert mesh.hops(a, b) == mesh.hops(b, a)
+        assert mesh.hops(a, b) <= mesh.hops(a, c) + mesh.hops(c, b)
+        assert mesh.hops(a, b) <= mesh.max_hops()
+        assert (mesh.hops(a, b) == 0) == (a == b)
+
+
+class TestFactory:
+    def test_make_topology(self):
+        assert isinstance(make_topology("crossbar", 4), Crossbar)
+        assert isinstance(make_topology("mesh3d", 100), Mesh3D)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_topology("torus9d", 4)

@@ -1,0 +1,37 @@
+"""Shared fixtures for network tests: a tiny two/four-node fabric."""
+
+import pytest
+
+from repro.machine import Node, dev_cluster
+from repro.network import Fabric
+from repro.simkernel import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def spec():
+    return dev_cluster()
+
+
+@pytest.fixture
+def fabric(env, spec):
+    return Fabric(env, topology=spec.topology, hop_latency=spec.hop_latency)
+
+
+@pytest.fixture
+def nodes(env, spec, fabric):
+    """Four nodes: 0-1 are I/O (storage-capable), 2-3 compute."""
+    out = []
+    for i in range(2):
+        node = Node(env, i, spec.io_spec)
+        fabric.attach(node)
+        out.append(node)
+    for i in range(2, 4):
+        node = Node(env, i, spec.compute_spec)
+        fabric.attach(node)
+        out.append(node)
+    return out

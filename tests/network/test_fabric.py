@@ -1,0 +1,134 @@
+"""Fabric message delivery: timing, serialization, contention, failures."""
+
+import pytest
+
+from repro.errors import NodeFailure
+from repro.network import Fabric, Message
+from repro.units import MiB
+
+
+def run_transfer(env, fabric, src, dst, size, tag="t"):
+    ev = fabric.send(src, dst, size, tag=tag)
+    env.run(ev)
+    return env.now
+
+
+class TestDelivery:
+    def test_payload_rides_through(self, env, fabric, nodes):
+        ev = fabric.send(2, 0, 128, payload={"op": "hello"})
+        msg = env.run(ev)
+        assert msg.payload == {"op": "hello"}
+
+    def test_transfer_time_scales_with_size(self, env, fabric, nodes):
+        t_small = run_transfer(env, fabric, 2, 0, 1 * MiB)
+        env2_start = env.now
+        ev = fabric.send(2, 0, 8 * MiB)
+        env.run(ev)
+        t_big = env.now - env2_start
+        # 8x the bytes ≈ 8x the serialization (latency/overhead constant).
+        assert t_big > 6 * t_small
+
+    def test_minimum_wire_size_charged(self, env, fabric, nodes):
+        # Zero-byte messages still cost headers + latency.
+        t = run_transfer(env, fabric, 2, 0, 0)
+        assert t > 0
+
+    def test_latency_floor(self, env, fabric, nodes, spec):
+        t = run_transfer(env, fabric, 2, 0, 0)
+        assert t >= spec.compute_spec.nic.latency
+
+    def test_same_node_delivery_is_cheap(self, env, fabric, nodes):
+        t_local = run_transfer(env, fabric, 2, 2, 1 * MiB)
+        env2 = env.now
+        env.run(fabric.send(2, 0, 1 * MiB))
+        t_remote = env.now - env2
+        assert t_local < t_remote
+
+    def test_unknown_node_rejected(self, env, fabric, nodes):
+        from repro.errors import NetworkError
+
+        with pytest.raises(NetworkError):
+            fabric.node(99)
+
+    def test_counters_accumulate(self, env, fabric, nodes):
+        run_transfer(env, fabric, 2, 0, 1024)
+        run_transfer(env, fabric, 3, 1, 2048)
+        assert fabric.counters["messages"] == 2
+        assert fabric.counters["bytes"] >= 3072
+
+
+class TestContention:
+    def test_receiver_serializes_bulk_senders(self, env, fabric, nodes):
+        """Two senders into one receiver take ~2x one sender's time."""
+        size = 8 * MiB
+        solo_ev = fabric.send(2, 0, size)
+        env.run(solo_ev)
+        solo = env.now
+
+        start = env.now
+        both = [fabric.send(2, 1, size), fabric.send(3, 1, size)]
+        env.run(env.all_of(both))
+        contended = env.now - start
+        assert contended > 1.8 * solo
+
+    def test_distinct_pairs_proceed_in_parallel(self, env, fabric, nodes):
+        size = 8 * MiB
+        start = env.now
+        env.run(fabric.send(2, 0, size))
+        solo = env.now - start
+
+        start = env.now
+        pair = [fabric.send(2, 0, size), fabric.send(3, 1, size)]
+        env.run(env.all_of(pair))
+        parallel = env.now - start
+        assert parallel < 1.2 * solo
+
+    def test_control_messages_bypass_bulk_queue(self, env, fabric, nodes):
+        """A small RPC must not wait behind a multi-MiB transfer."""
+        bulk = fabric.send(2, 0, 64 * MiB)
+        ctl = fabric.send(3, 0, 256, tag="rpc")
+        env.run(ctl)
+        ctl_done = env.now
+        env.run(bulk)
+        assert ctl_done < env.now / 10
+
+
+class TestFailures:
+    def test_send_from_dead_node_fails(self, env, fabric, nodes):
+        nodes[2].kill()
+        ev = fabric.send(2, 0, 128)
+        with pytest.raises(NodeFailure):
+            env.run(ev)
+
+    def test_send_to_node_that_dies_in_flight(self, env, fabric, nodes):
+        ev = fabric.send(2, 0, 64 * MiB)
+
+        def killer(env):
+            yield env.timeout(1e-4)
+            nodes[0].kill()
+
+        env.process(killer(env))
+        with pytest.raises(NodeFailure):
+            env.run(ev)
+
+
+class TestLatencyModel:
+    def test_mesh_hop_latency(self):
+        from repro.machine import Node, red_storm
+        from repro.simkernel import Environment
+
+        spec = red_storm()
+        env = Environment()
+        fabric = Fabric(env, topology="mesh3d", hop_latency=spec.hop_latency, n_nodes_hint=64)
+        for i in range(64):
+            fabric.attach(Node(env, i, spec.compute_spec))
+        near = fabric.wire_latency(0, 1)
+        far = fabric.wire_latency(0, 63)
+        assert near == pytest.approx(spec.compute_spec.nic.latency)
+        assert far > near
+
+    def test_duplicate_attach_rejected(self, env, fabric, nodes, spec):
+        from repro.machine import Node
+
+        with pytest.raises(ValueError):
+            fabric.attach(Node(env, 0, spec.compute_spec))

@@ -1,0 +1,62 @@
+"""Pipe serialization semantics."""
+
+import pytest
+
+from repro.network import Pipe
+from repro.simkernel import Environment
+from repro.units import MiB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_occupancy(env):
+    pipe = Pipe(env, bandwidth=100 * MiB)
+    assert pipe.occupancy(100 * MiB) == pytest.approx(1.0)
+
+
+def test_invalid_bandwidth(env):
+    with pytest.raises(ValueError):
+        Pipe(env, bandwidth=0)
+
+
+def test_hold_serializes(env):
+    pipe = Pipe(env, bandwidth=10 * MiB)
+    done = []
+
+    def mover(env, i):
+        yield from pipe.hold(10 * MiB)
+        done.append((i, env.now))
+
+    for i in range(3):
+        env.process(mover(env, i))
+    env.run()
+    assert [t for _, t in done] == pytest.approx([1.0, 2.0, 3.0])
+
+
+def test_stats_accumulate(env):
+    pipe = Pipe(env, bandwidth=10 * MiB)
+
+    def mover(env):
+        yield from pipe.hold(5 * MiB)
+
+    env.process(mover(env))
+    env.run()
+    assert pipe.bytes_moved == 5 * MiB
+    assert pipe.busy_time == pytest.approx(0.5)
+    assert pipe.utilization(1.0) == pytest.approx(0.5)
+    assert pipe.utilization(0.0) == 0.0
+
+
+def test_queue_len(env):
+    pipe = Pipe(env, bandwidth=1 * MiB)
+
+    def mover(env):
+        yield from pipe.hold(1 * MiB)
+
+    for _ in range(3):
+        env.process(mover(env))
+    env.run(until=0.5)
+    assert pipe.queue_len == 2

@@ -1,0 +1,176 @@
+"""Binomial-tree collectives: correctness at awkward sizes and roots."""
+
+import pytest
+
+from repro.machine import dev_cluster
+from repro.parallel import ParallelApp, children, parent, subtree
+from repro.sim import SimCluster
+
+
+def make_app(n_ranks, n_nodes=4):
+    cluster = SimCluster(dev_cluster(), compute_nodes=n_nodes, io_nodes=1, service_nodes=1)
+    app = ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=n_ranks)
+    return cluster, app
+
+
+class TestTreeShape:
+    def test_parent_of_root(self):
+        assert parent(0, 8) is None
+
+    def test_parent_child_consistency(self):
+        for size in (1, 2, 3, 5, 8, 13, 16):
+            for vr in range(size):
+                for child in children(vr, size):
+                    assert parent(child, size) == vr
+
+    def test_subtree_partitions_all_ranks(self):
+        for size in (1, 2, 3, 7, 8, 9, 16, 31):
+            assert sorted(subtree(0, size)) == list(range(size))
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 3, 5, 8, 13])
+class TestCollectives:
+    def test_bcast(self, n_ranks):
+        cluster, app = make_app(n_ranks)
+
+        def main(ctx):
+            value = yield from ctx.bcast({"caps": "xyz"} if ctx.rank == 0 else None)
+            return value
+
+        results = app.run(main)
+        assert all(r == {"caps": "xyz"} for r in results)
+
+    def test_gather(self, n_ranks):
+        cluster, app = make_app(n_ranks)
+
+        def main(ctx):
+            gathered = yield from ctx.gather(ctx.rank * ctx.rank)
+            return gathered
+
+        results = app.run(main)
+        assert results[0] == [r * r for r in range(n_ranks)]
+        assert all(r is None for r in results[1:])
+
+    def test_scatter(self, n_ranks):
+        cluster, app = make_app(n_ranks)
+
+        def main(ctx):
+            values = [f"item{r}" for r in range(ctx.size)] if ctx.rank == 0 else None
+            mine = yield from ctx.scatter(values)
+            return mine
+
+        assert app.run(main) == [f"item{r}" for r in range(n_ranks)]
+
+    def test_barrier_synchronizes(self, n_ranks):
+        cluster, app = make_app(n_ranks)
+        after = []
+
+        def main(ctx):
+            # Stagger arrivals; everyone leaves only after the last arrives.
+            yield ctx.env.timeout(0.01 * ctx.rank)
+            yield from ctx.barrier()
+            after.append(ctx.env.now)
+            return True
+
+        app.run(main)
+        assert min(after) >= 0.01 * (n_ranks - 1)
+
+
+class TestNonDefaultRoot:
+    def test_bcast_from_nonzero_root(self):
+        cluster, app = make_app(6)
+
+        def main(ctx):
+            value = yield from ctx.bcast("from3" if ctx.rank == 3 else None, root=3)
+            return value
+
+        assert app.run(main) == ["from3"] * 6
+
+    def test_gather_to_nonzero_root(self):
+        cluster, app = make_app(5)
+
+        def main(ctx):
+            gathered = yield from ctx.gather(ctx.rank, root=2)
+            return gathered
+
+        results = app.run(main)
+        assert results[2] == [0, 1, 2, 3, 4]
+        assert results[0] is None
+
+    def test_scatter_bad_length_rejected(self):
+        cluster, app = make_app(3)
+
+        def main(ctx):
+            mine = yield from ctx.scatter([1, 2] if ctx.rank == 0 else None)
+            return mine
+
+        with pytest.raises(ValueError):
+            app.run(main)
+
+
+class TestMessageEconomy:
+    def test_bcast_message_count_is_n_minus_1(self):
+        cluster, app = make_app(16)
+
+        def main(ctx):
+            yield from ctx.bcast("x" if ctx.rank == 0 else None)
+            return True
+
+        app.run(main)
+        assert app.comm.messages == 15
+
+    def test_collectives_in_sequence_do_not_cross(self):
+        cluster, app = make_app(4)
+
+        def main(ctx):
+            a = yield from ctx.bcast("first" if ctx.rank == 0 else None)
+            b = yield from ctx.bcast("second" if ctx.rank == 0 else None)
+            g = yield from ctx.gather((a, b))
+            return g
+
+        results = app.run(main)
+        assert results[0] == [("first", "second")] * 4
+
+
+class TestPointToPoint:
+    def test_send_recv_ordering(self):
+        cluster, app = make_app(2)
+
+        def main(ctx):
+            if ctx.rank == 0:
+                for i in range(3):
+                    yield from ctx.send(1, i, tag="seq")
+                return None
+            out = []
+            for _ in range(3):
+                out.append((yield from ctx.recv(0, tag="seq")))
+            return out
+
+        assert app.run(main)[1] == [0, 1, 2]
+
+    def test_tags_demultiplex(self):
+        cluster, app = make_app(2)
+
+        def main(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, "A", tag="a")
+                yield from ctx.send(1, "B", tag="b")
+                return None
+            b = yield from ctx.recv(0, tag="b")
+            a = yield from ctx.recv(0, tag="a")
+            return (a, b)
+
+        assert app.run(main)[1] == ("A", "B")
+
+
+class TestPlacement:
+    def test_ranks_round_robin_over_nodes(self):
+        cluster, app = make_app(10, n_nodes=4)
+        nodes = [ctx.node.node_id for ctx in app.contexts]
+        assert len(set(nodes)) == 4  # all nodes used
+        assert nodes[0] == nodes[4]  # wrap-around
+
+    def test_bad_rank_count(self):
+        cluster = SimCluster(dev_cluster(), compute_nodes=2, io_nodes=1, service_nodes=1)
+        with pytest.raises(ValueError):
+            ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=0)

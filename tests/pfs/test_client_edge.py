@@ -1,0 +1,121 @@
+"""PFS client edge cases: empty I/O, EOF, holes, multi-OST fsync."""
+
+import pytest
+
+from repro.machine import dev_cluster
+from repro.pfs import PFSDeployment
+from repro.sim import SimCluster, SimConfig
+from repro.storage import SyntheticData, piece_bytes, piece_len
+from repro.units import MiB
+
+
+@pytest.fixture
+def cluster():
+    return SimCluster(
+        dev_cluster(), SimConfig(chunk_bytes=1 * MiB), compute_nodes=2, io_nodes=2, service_nodes=1
+    )
+
+
+@pytest.fixture
+def pfs(cluster):
+    return PFSDeployment(cluster, n_osts=4)
+
+
+def drive(cluster, gen):
+    return cluster.env.run(cluster.env.process(gen))
+
+
+def test_zero_length_write_and_read(cluster, pfs):
+    client = pfs.client(cluster.compute_nodes[0])
+
+    def flow():
+        fh = yield from client.create("/zero")
+        written = yield from client.write(fh, 0, b"")
+        data = yield from client.read(fh, 0, 0)
+        return written, piece_len(data), fh.inode.size
+
+    written, read_len, size = drive(cluster, flow())
+    assert written == 0 and read_len == 0 and size == 0
+
+
+def test_read_of_unwritten_region_returns_zeros(cluster, pfs):
+    client = pfs.client(cluster.compute_nodes[0])
+
+    def flow():
+        fh = yield from client.create("/holes", stripe_count=3)
+        yield from client.write(fh, 10 * MiB, b"far")
+        return (yield from client.read(fh, 0, 16))
+
+    assert piece_bytes(drive(cluster, flow())) == bytes(16)
+
+
+def test_fsync_touches_every_ost_in_the_layout(cluster, pfs):
+    client = pfs.client(cluster.compute_nodes[0])
+
+    def flow():
+        fh = yield from client.create("/wide", stripe_count=4)
+        yield from client.write(fh, 0, SyntheticData(4 * MiB, seed=1))
+        before = [ost.rpc.requests_served for ost in pfs.osts]
+        yield from client.fsync(fh)
+        after = [ost.rpc.requests_served for ost in pfs.osts]
+        return [b - a for a, b in zip(before, after)]
+
+    sync_counts = drive(cluster, flow())
+    assert all(c >= 1 for c in sync_counts)
+
+
+def test_size_is_max_across_writers(cluster, pfs):
+    """Two handles on the same file: size grows to the furthest write."""
+    c0 = pfs.client(cluster.compute_nodes[0])
+    c1 = pfs.client(cluster.compute_nodes[1])
+    env = cluster.env
+
+    def writer0():
+        fh = yield from c0.create("/both", stripe_count=2)
+        yield from c0.write(fh, 0, b"aaaa")
+        yield from c0.fsync(fh)
+        return fh
+
+    def writer1():
+        yield env.timeout(0.05)
+        fh = yield from c1.open("/both", flags=1)
+        yield from c1.write(fh, 100, b"bbbb")
+        yield from c1.fsync(fh)
+        return fh
+
+    p0 = env.process(writer0())
+    p1 = env.process(writer1())
+    env.run(env.all_of([p0, p1]))
+    inode = pfs.mds.namespace.lookup("/both")
+    assert inode.size == 104
+
+
+def test_reopen_after_unlink_fails(cluster, pfs):
+    from repro.errors import NoSuchFile
+
+    client = pfs.client(cluster.compute_nodes[0])
+
+    def flow():
+        fh = yield from client.create("/gone")
+        yield from client.close(fh)
+        yield from client.unlink("/gone")
+        try:
+            yield from client.open("/gone")
+        except NoSuchFile:
+            return "gone"
+        return "still-there"
+
+    assert drive(cluster, flow()) == "gone"
+
+
+def test_interleaved_small_writes_preserve_content(cluster, pfs):
+    client = pfs.client(cluster.compute_nodes[0])
+
+    def flow():
+        fh = yield from client.create("/interleave", stripe_count=3, stripe_size=8)
+        # Writes deliberately smaller than and misaligned with the stripes.
+        for i, chunk in enumerate([b"AAAA", b"BBBB", b"CCCC", b"DDDD", b"EEEE"]):
+            yield from client.write(fh, i * 4, chunk)
+        return (yield from client.read(fh, 0, 20))
+
+    assert piece_bytes(drive(cluster, flow())) == b"AAAABBBBCCCCDDDDEEEE"

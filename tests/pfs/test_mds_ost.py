@@ -1,0 +1,200 @@
+"""Simulated MDS + OSTs: POSIX surface, striping on the wire, locks."""
+
+import pytest
+
+from repro.errors import FileExists, NoSuchFile
+from repro.machine import dev_cluster
+from repro.pfs import OpenFlags, PFSDeployment
+from repro.sim import SimCluster, SimConfig
+from repro.storage import SyntheticData, data_equal, piece_bytes
+from repro.units import MiB
+
+
+@pytest.fixture
+def cluster():
+    return SimCluster(
+        dev_cluster(),
+        SimConfig(chunk_bytes=1 * MiB),
+        compute_nodes=4,
+        io_nodes=2,
+        service_nodes=1,
+    )
+
+
+@pytest.fixture
+def pfs(cluster):
+    return PFSDeployment(cluster, n_osts=4)
+
+
+def drive(cluster, gen):
+    return cluster.env.run(cluster.env.process(gen))
+
+
+class TestFileSurface:
+    def test_create_write_read(self, cluster, pfs):
+        client = pfs.client(cluster.compute_nodes[0])
+        data = SyntheticData(3 * MiB, seed=1)
+
+        def flow():
+            fh = yield from client.create("/a/b", stripe_count=2)
+            yield from client.write(fh, 0, data)
+            yield from client.fsync(fh)
+            yield from client.close(fh)
+            fh2 = yield from client.open("/a/b")
+            back = yield from client.read(fh2, 0, 3 * MiB)
+            yield from client.close(fh2)
+            return back, fh2.inode.size
+
+        back, size = drive(cluster, flow())
+        assert data_equal(back, data)
+        assert size == 3 * MiB
+
+    def test_duplicate_create_rejected_remotely(self, cluster, pfs):
+        client = pfs.client(cluster.compute_nodes[0])
+
+        def flow():
+            yield from client.create("/dup")
+            try:
+                yield from client.create("/dup")
+            except FileExists:
+                return "exists"
+
+        assert drive(cluster, flow()) == "exists"
+
+    def test_open_missing(self, cluster, pfs):
+        client = pfs.client(cluster.compute_nodes[0])
+
+        def flow():
+            try:
+                yield from client.open("/ghost")
+            except NoSuchFile:
+                return "missing"
+
+        assert drive(cluster, flow()) == "missing"
+
+    def test_unlink_destroys_ost_objects(self, cluster, pfs):
+        client = pfs.client(cluster.compute_nodes[0])
+
+        def flow():
+            fh = yield from client.create("/victim", stripe_count=4)
+            yield from client.write(fh, 0, SyntheticData(2 * MiB, seed=2))
+            yield from client.close(fh)
+            ino = fh.inode.ino
+            yield from client.unlink("/victim")
+            return ino
+
+        ino = drive(cluster, flow())
+        for ost in pfs.osts:
+            assert not any(k[0] == ino for k in [o.oid for o in ost.store])
+
+    def test_stat(self, cluster, pfs):
+        client = pfs.client(cluster.compute_nodes[0])
+
+        def flow():
+            fh = yield from client.create("/s", stripe_count=1)
+            yield from client.write(fh, 0, b"abc")
+            yield from client.fsync(fh)
+            inode = yield from client.stat("/s")
+            return inode.size
+
+        assert drive(cluster, flow()) == 3
+
+
+class TestStripingOnTheWire:
+    def test_data_spreads_across_osts(self, cluster, pfs):
+        client = pfs.client(cluster.compute_nodes[0])
+
+        def flow():
+            fh = yield from client.create("/wide", stripe_count=4, stripe_size=1 * MiB)
+            yield from client.write(fh, 0, SyntheticData(8 * MiB, seed=3))
+            yield from client.fsync(fh)
+            return fh.inode.ino
+
+        ino = drive(cluster, flow())
+        holding = [ost for ost in pfs.osts if len(ost.store) > 0]
+        assert len(holding) == 4
+        total = sum(
+            obj.allocated_bytes for ost in pfs.osts for obj in ost.store
+        )
+        assert total == 8 * MiB
+
+    def test_sparse_region_reads_zero(self, cluster, pfs):
+        client = pfs.client(cluster.compute_nodes[0])
+
+        def flow():
+            fh = yield from client.create("/sparse", stripe_count=2, stripe_size=1 * MiB)
+            yield from client.write(fh, 5 * MiB, b"tail")
+            back = yield from client.read(fh, 5 * MiB - 2, 6)
+            return back
+
+        assert piece_bytes(drive(cluster, flow())) == b"\x00\x00tail"
+
+
+class TestExtentLocks:
+    def test_single_writer_never_switches(self, cluster, pfs):
+        client = pfs.client(cluster.compute_nodes[0])
+
+        def flow():
+            fh = yield from client.create("/solo", stripe_count=2)
+            yield from client.write(fh, 0, SyntheticData(4 * MiB, seed=4))
+            yield from client.write(fh, 4 * MiB, SyntheticData(4 * MiB, seed=5))
+
+        drive(cluster, flow())
+        assert pfs.lock_switches() == 0
+
+    def test_two_writers_ping_pong(self, cluster, pfs):
+        c0 = pfs.client(cluster.compute_nodes[0])
+        c1 = pfs.client(cluster.compute_nodes[1])
+        env = cluster.env
+
+        def writer(client, fh_holder, offset, seed, create):
+            if create:
+                fh = yield from client.create("/shared", stripe_count=1)
+                fh_holder.append(fh)
+            else:
+                while not fh_holder:
+                    yield env.timeout(1e-4)
+                fh = yield from client.open("/shared", OpenFlags.WRONLY)
+            yield from client.write(fh, offset, SyntheticData(2 * MiB, seed=seed))
+
+        holder = []
+        p0 = env.process(writer(c0, holder, 0, 1, True))
+        p1 = env.process(writer(c1, holder, 2 * MiB, 2, False))
+        env.run(env.all_of([p0, p1]))
+        assert pfs.lock_switches() > 0
+
+    def test_contended_write_slower_than_solo(self, cluster, pfs):
+        """The consistency tax: same bytes, two writers, more time."""
+        env = cluster.env
+        size = 4 * MiB
+
+        def solo():
+            client = pfs.client(cluster.compute_nodes[0])
+            fh = yield from client.create("/solo2", stripe_count=1)
+            start = env.now
+            yield from client.write(fh, 0, SyntheticData(size, seed=1))
+            return env.now - start
+
+        solo_time = drive(cluster, solo())
+
+        def contended(node, path_holder, offset, create):
+            client = pfs.client(node)
+            if create:
+                fh = yield from client.create("/cont", stripe_count=1)
+                path_holder.append(fh)
+            else:
+                while not path_holder:
+                    yield env.timeout(1e-4)
+                fh = yield from client.open("/cont", OpenFlags.WRONLY)
+            start = env.now
+            yield from client.write(fh, offset, SyntheticData(size // 2, seed=2))
+            return env.now - start
+
+        holder = []
+        p0 = env.process(contended(cluster.compute_nodes[0], holder, 0, True))
+        p1 = env.process(contended(cluster.compute_nodes[1], holder, size // 2, False))
+        env.run(env.all_of([p0, p1]))
+        contended_total = max(p0.value, p1.value)
+        # Half the bytes each, but in total the contended pair should not
+        # be meaningfully faster than one writer writing everything.
+        assert contended_total > 0.7 * solo_time

@@ -1,0 +1,86 @@
+"""The MDS's functional namespace."""
+
+import pytest
+
+from repro.errors import FileExists, NoSuchFile, PFSError
+from repro.pfs import PFSNamespace, StripeLayout
+
+
+@pytest.fixture
+def ns():
+    return PFSNamespace()
+
+
+LAYOUT = StripeLayout(stripe_size=4096, osts=(0,))
+
+
+class TestCreate:
+    def test_create_and_lookup(self, ns):
+        inode = ns.create("/ckpt/rank0", LAYOUT, owner="alice")
+        found = ns.lookup("/ckpt/rank0")
+        assert found is inode
+        assert found.owner == "alice"
+        assert found.layout == LAYOUT
+
+    def test_inos_unique(self, ns):
+        a = ns.create("/a", LAYOUT)
+        b = ns.create("/b", LAYOUT)
+        assert a.ino != b.ino
+
+    def test_duplicate_rejected(self, ns):
+        ns.create("/x", LAYOUT)
+        with pytest.raises(FileExists):
+            ns.create("/x", LAYOUT)
+
+    def test_parents_autocreated(self, ns):
+        ns.create("/a/b/c/d", LAYOUT)
+        assert ns.list_dir("/a/b/c") == ["d"]
+
+    def test_create_under_file_rejected(self, ns):
+        ns.create("/f", LAYOUT)
+        with pytest.raises(PFSError):
+            ns.create("/f/child", LAYOUT)
+
+
+class TestLookup:
+    def test_missing(self, ns):
+        with pytest.raises(NoSuchFile):
+            ns.lookup("/ghost")
+
+    def test_directory_is_not_a_file(self, ns):
+        ns.create("/d/f", LAYOUT)
+        with pytest.raises(PFSError):
+            ns.lookup("/d")
+
+    def test_exists(self, ns):
+        ns.create("/x", LAYOUT)
+        assert ns.exists("/x")
+        assert not ns.exists("/y")
+        assert not ns.exists("/x/deeper")
+
+    def test_counters(self, ns):
+        ns.create("/x", LAYOUT)
+        ns.lookup("/x")
+        ns.lookup("/x")
+        assert ns.creates == 1
+        assert ns.lookups >= 2
+
+
+class TestUnlink:
+    def test_unlink(self, ns):
+        ns.create("/x", LAYOUT)
+        inode = ns.unlink("/x")
+        assert inode.ino == 1
+        assert not ns.exists("/x")
+
+    def test_unlink_missing(self, ns):
+        with pytest.raises(NoSuchFile):
+            ns.unlink("/nope")
+
+
+class TestSize:
+    def test_update_size_monotonic(self, ns):
+        inode = ns.create("/x", LAYOUT)
+        ns.update_size(inode, 100)
+        ns.update_size(inode, 50)  # shrink attempts ignored
+        assert inode.size == 100

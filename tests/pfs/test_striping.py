@@ -1,0 +1,103 @@
+"""Stripe layout math: locate, map_extent, inverses (incl. hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs import Fragment, StripeLayout
+
+
+class TestLocate:
+    def test_first_stripe_round(self):
+        layout = StripeLayout(stripe_size=10, osts=(5, 6, 7))
+        assert layout.locate(0) == (0, 0)
+        assert layout.locate(9) == (0, 9)
+        assert layout.locate(10) == (1, 0)
+        assert layout.locate(25) == (2, 5)
+
+    def test_second_round_advances_object_offset(self):
+        layout = StripeLayout(stripe_size=10, osts=(5, 6, 7))
+        assert layout.locate(30) == (0, 10)
+        assert layout.locate(45) == (1, 15)
+
+    def test_single_ost(self):
+        layout = StripeLayout(stripe_size=4, osts=(0,))
+        assert layout.locate(1000) == (0, 1000)
+
+    def test_negative_rejected(self):
+        layout = StripeLayout(stripe_size=4, osts=(0,))
+        with pytest.raises(ValueError):
+            layout.locate(-1)
+
+
+class TestValidation:
+    def test_bad_stripe_size(self):
+        with pytest.raises(ValueError):
+            StripeLayout(stripe_size=0, osts=(0,))
+
+    def test_empty_osts(self):
+        with pytest.raises(ValueError):
+            StripeLayout(stripe_size=4, osts=())
+
+    def test_duplicate_osts(self):
+        with pytest.raises(ValueError):
+            StripeLayout(stripe_size=4, osts=(1, 1))
+
+
+class TestMapExtent:
+    def test_tiles_exactly(self):
+        layout = StripeLayout(stripe_size=10, osts=(0, 1))
+        frags = layout.map_extent(5, 20)
+        assert [(f.file_offset, f.length) for f in frags] == [(5, 5), (10, 10), (20, 5)]
+        assert [f.ost_index for f in frags] == [0, 1, 0]
+        assert frags[2].object_offset == 10
+
+    def test_zero_length(self):
+        layout = StripeLayout(stripe_size=10, osts=(0,))
+        assert layout.map_extent(3, 0) == []
+
+    def test_aligned_extent(self):
+        layout = StripeLayout(stripe_size=10, osts=(0, 1, 2))
+        frags = layout.map_extent(0, 30)
+        assert len(frags) == 3
+        assert all(f.length == 10 for f in frags)
+        assert [f.ost_index for f in frags] == [0, 1, 2]
+
+
+@given(
+    stripe_size=st.integers(min_value=1, max_value=64),
+    n_osts=st.integers(min_value=1, max_value=8),
+    offset=st.integers(min_value=0, max_value=10_000),
+    length=st.integers(min_value=0, max_value=2_000),
+)
+@settings(max_examples=150, deadline=None)
+def test_map_extent_tiles_and_roundtrips(stripe_size, n_osts, offset, length):
+    layout = StripeLayout(stripe_size=stripe_size, osts=tuple(range(n_osts)))
+    frags = layout.map_extent(offset, length)
+    # Tiling: fragments cover [offset, offset+length) exactly, in order.
+    pos = offset
+    for frag in frags:
+        assert frag.file_offset == pos
+        assert 1 <= frag.length <= stripe_size
+        pos += frag.length
+        # locate/file_offset_of round-trip on every byte boundary.
+        ost_index, obj_off = layout.locate(frag.file_offset)
+        assert ost_index == frag.ost_index
+        assert obj_off == frag.object_offset
+        assert layout.file_offset_of(ost_index, obj_off) == frag.file_offset
+    assert pos == offset + length
+    # No fragment crosses a stripe boundary.
+    for frag in frags:
+        assert (frag.file_offset % stripe_size) + frag.length <= stripe_size
+
+
+@given(
+    stripe_size=st.integers(min_value=1, max_value=32),
+    n_osts=st.integers(min_value=1, max_value=6),
+    file_size=st.integers(min_value=0, max_value=4_000),
+)
+@settings(max_examples=100, deadline=None)
+def test_object_sizes_sum_to_file_size(stripe_size, n_osts, file_size):
+    layout = StripeLayout(stripe_size=stripe_size, osts=tuple(range(n_osts)))
+    total = sum(layout.object_size_for(i, file_size) for i in range(n_osts))
+    assert total == file_size

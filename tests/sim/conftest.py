@@ -1,0 +1,29 @@
+"""Fixtures for simulation-level tests: a small dev-cluster deployment."""
+
+import pytest
+
+from repro.machine import dev_cluster
+from repro.sim import LWFSDeployment, SimCluster, SimConfig
+from repro.units import MiB
+
+
+@pytest.fixture
+def cluster():
+    return SimCluster(
+        dev_cluster(),
+        SimConfig(chunk_bytes=1 * MiB),
+        compute_nodes=4,
+        io_nodes=2,
+        service_nodes=1,
+    )
+
+
+@pytest.fixture
+def deployment(cluster):
+    return LWFSDeployment(cluster, n_storage_servers=2)
+
+
+def run_app(cluster, fn):
+    """Run a single client generator to completion; returns its value."""
+    proc = cluster.env.process(fn)
+    return cluster.env.run(proc)

@@ -1,0 +1,64 @@
+"""SimCluster construction and role assignment."""
+
+import pytest
+
+from repro.machine import NodeKind, dev_cluster, red_storm
+from repro.sim import SimCluster, SimConfig
+
+
+def test_default_counts_follow_spec():
+    cluster = SimCluster(dev_cluster())
+    assert len(cluster.compute_nodes) == 31
+    assert len(cluster.io_nodes) == 8
+    assert len(cluster.service_nodes) == 1
+    assert cluster.n_nodes == 40
+
+
+def test_overridden_counts():
+    cluster = SimCluster(dev_cluster(), compute_nodes=3, io_nodes=2, service_nodes=1)
+    assert cluster.n_nodes == 6
+
+
+def test_node_ids_contiguous_service_first():
+    cluster = SimCluster(dev_cluster(), compute_nodes=2, io_nodes=2, service_nodes=1)
+    assert cluster.service_nodes[0].node_id == 0
+    assert [n.node_id for n in cluster.io_nodes] == [1, 2]
+    assert [n.node_id for n in cluster.compute_nodes] == [3, 4]
+    for node in (cluster.service_nodes + cluster.io_nodes + cluster.compute_nodes):
+        assert cluster.node(node.node_id) is node
+        assert node.nic is not None
+
+
+def test_roles_have_correct_kinds():
+    cluster = SimCluster(dev_cluster(), compute_nodes=1, io_nodes=1, service_nodes=1)
+    assert cluster.service_nodes[0].kind is NodeKind.SERVICE
+    assert cluster.io_nodes[0].kind is NodeKind.IO
+    assert cluster.compute_nodes[0].kind is NodeKind.COMPUTE
+
+
+def test_make_raid_requires_storage_spec():
+    cluster = SimCluster(dev_cluster(), compute_nodes=1, io_nodes=1, service_nodes=1)
+    raid = cluster.make_raid(cluster.io_nodes[0], "r0")
+    assert raid.spec.bandwidth == dev_cluster().io_spec.storage.bandwidth
+    with pytest.raises(ValueError):
+        cluster.make_raid(cluster.compute_nodes[0], "bad")
+
+
+def test_make_raid_bandwidth_override():
+    cluster = SimCluster(dev_cluster(), compute_nodes=1, io_nodes=1, service_nodes=1)
+    raid = cluster.make_raid(cluster.io_nodes[0], "r0", bandwidth=123456.0)
+    assert raid.spec.bandwidth == 123456.0
+
+
+def test_jitter_depends_on_seed():
+    c1 = SimCluster(dev_cluster(), SimConfig(seed=1), compute_nodes=1, io_nodes=1, service_nodes=1)
+    c2 = SimCluster(dev_cluster(), SimConfig(seed=2), compute_nodes=1, io_nodes=1, service_nodes=1)
+    c1b = SimCluster(dev_cluster(), SimConfig(seed=1), compute_nodes=1, io_nodes=1, service_nodes=1)
+    assert c1.jitter("x", 1.0) == c1b.jitter("x", 1.0)
+    assert c1.jitter("x", 1.0) != c2.jitter("x", 1.0)
+
+
+def test_red_storm_cluster_scales_down():
+    cluster = SimCluster(red_storm(), compute_nodes=16, io_nodes=4, service_nodes=2)
+    assert cluster.n_nodes == 22
+    assert cluster.fabric.topology.max_hops() >= 1

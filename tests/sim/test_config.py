@@ -1,0 +1,53 @@
+"""SimConfig / cost-model validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim import LWFSCosts, PFSCosts, SimConfig
+from repro.units import KiB, MiB
+
+
+class TestSimConfig:
+    def test_defaults_are_sane(self):
+        config = SimConfig()
+        assert config.chunk_bytes == 4 * MiB
+        assert config.pipeline_depth >= 1
+        assert config.buffer_pool_bytes >= config.chunk_bytes
+        assert 0 <= config.cost_jitter < 0.5
+
+    def test_tiny_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(chunk_bytes=4 * KiB)
+
+    def test_zero_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(pipeline_depth=0)
+
+    def test_frozen(self):
+        config = SimConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.seed = 99
+
+    def test_replace_for_experiments(self):
+        config = dataclasses.replace(SimConfig(), seed=42, chunk_bytes=1 * MiB)
+        assert config.seed == 42
+        assert config.chunk_bytes == 1 * MiB
+
+
+class TestCostModels:
+    def test_lwfs_costs_positive(self):
+        costs = LWFSCosts()
+        for field in dataclasses.fields(costs):
+            assert getattr(costs, field.name) > 0, field.name
+
+    def test_mds_create_dominates_lwfs_create(self):
+        """The calibration that makes Fig. 10 come out: a centralized MDS
+        create costs several times a distributed object create."""
+        lwfs, pfs = LWFSCosts(), PFSCosts()
+        lwfs_create = lwfs.create_obj_cpu
+        mds_create = pfs.mds_create_cpu + pfs.mds_journal
+        assert mds_create > 4 * lwfs_create
+
+    def test_filter_scan_rate_is_a_bandwidth(self):
+        assert LWFSCosts().filter_scan_rate > 100 * MiB

@@ -1,0 +1,97 @@
+"""Journal-driven crash recovery at the simulated storage servers (§3.4)."""
+
+import dataclasses
+
+import pytest
+
+from repro.lwfs import OpMask
+from repro.storage import piece_bytes
+
+
+def drive(cluster, gen):
+    return cluster.env.run(cluster.env.process(gen))
+
+
+@pytest.fixture
+def fast(cluster):
+    cluster.config = dataclasses.replace(cluster.config, rpc_timeout=0.3)
+    return cluster.config
+
+
+def bootstrap(cluster, deployment):
+    client = deployment.client(cluster.compute_nodes[0])
+    client.config = cluster.config
+
+    def flow():
+        cred = yield from client.get_cred("alice", "alice-password")
+        cid = yield from client.create_container(cred)
+        cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+        return client, cap
+
+    return drive(cluster, flow())
+
+
+def test_journal_records_the_txn_lifecycle(cluster, deployment, fast):
+    client, cap = bootstrap(cluster, deployment)
+    server = deployment.storage[0]
+
+    def flow():
+        txn = yield from client.begin_txn()
+        yield from client.txn_join_storage(txn, 0)
+        yield from client.create_object(cap, 0, txnid=txn)
+        yield from client.end_txn(txn)
+        return txn
+
+    txn = drive(cluster, flow())
+    kinds = [r.kind for r in server.journal.scan() if r.txn == txn.value]
+    assert kinds == ["begin", "prepare", "commit"]
+
+
+def test_recovery_preserves_committed_and_aborts_in_flight(cluster, deployment, fast):
+    client, cap = bootstrap(cluster, deployment)
+    server = deployment.storage[0]
+
+    def flow():
+        # Transaction A: committed before the crash.
+        txn_a = yield from client.begin_txn()
+        yield from client.txn_join_storage(txn_a, 0)
+        oid_a = yield from client.create_object(cap, 0, txnid=txn_a)
+        yield from client.write(cap, oid_a, b"safe", txnid=txn_a)
+        yield from client.end_txn(txn_a)
+        # Transaction B: still active when the server dies.
+        txn_b = yield from client.begin_txn()
+        yield from client.txn_join_storage(txn_b, 0)
+        oid_b = yield from client.create_object(cap, 0, txnid=txn_b)
+        server.node.kill()
+        server.reboot()
+        return oid_a, oid_b, txn_a, txn_b
+
+    oid_a, oid_b, txn_a, txn_b = drive(cluster, flow())
+    assert server.svc.store.exists(oid_a)
+    assert not server.svc.store.exists(oid_b)
+    outcome = server.journal.recover()
+    assert txn_a.value in outcome.committed
+    assert txn_b.value in outcome.aborted  # recovery appended the abort
+
+
+def test_journal_survives_reboot_and_keeps_appending(cluster, deployment, fast):
+    client, cap = bootstrap(cluster, deployment)
+    server = deployment.storage[0]
+
+    def flow():
+        txn1 = yield from client.begin_txn()
+        yield from client.txn_join_storage(txn1, 0)
+        yield from client.create_object(cap, 0, txnid=txn1)
+        yield from client.end_txn(txn1)
+        server.node.kill()
+        server.reboot()
+        txn2 = yield from client.begin_txn()
+        yield from client.txn_join_storage(txn2, 0)
+        yield from client.create_object(cap, 0, txnid=txn2)
+        yield from client.end_txn(txn2)
+        return txn1, txn2
+
+    txn1, txn2 = drive(cluster, flow())
+    outcome = server.journal.recover()
+    assert txn1.value in outcome.committed
+    assert txn2.value in outcome.committed

@@ -1,0 +1,55 @@
+"""Utilization reporting: the bottleneck must be visible in the numbers."""
+
+from repro.iolib import LWFSCheckpointer, PFSCheckpointer
+from repro.machine import dev_cluster
+from repro.parallel import ParallelApp
+from repro.pfs import PFSDeployment
+from repro.sim import LWFSDeployment, SimCluster, SimConfig
+from repro.sim.stats import format_utilization, utilization_report
+from repro.storage import SyntheticData
+from repro.units import MiB
+
+
+def run_checkpoint(impl_cls, deployment, cluster, n_ranks=4, **kw):
+    ck = impl_cls(deployment, **kw)
+    app = ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=n_ranks)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        result = yield from ck.checkpoint(ctx, SyntheticData(8 * MiB, seed=ctx.rank))
+        return result
+
+    results = app.run(main)
+    return max(r.elapsed for r in results)
+
+
+def test_dump_phase_is_disk_bound_for_lwfs():
+    cluster = SimCluster(dev_cluster(), SimConfig(), compute_nodes=4, io_nodes=2, service_nodes=1)
+    dep = LWFSDeployment(cluster, n_storage_servers=2)
+    elapsed = run_checkpoint(LWFSCheckpointer, dep, cluster)
+    rows = utilization_report(dep, elapsed)
+    storage_rows = [r for r in rows if r["server"].startswith("stor")]
+    # The disk works much harder than the authz service's NIC.
+    assert all(r["disk_util"] > 0.6 for r in storage_rows)
+    authz_row = next(r for r in rows if r["server"] == "authz")
+    assert authz_row["nic_rx_util"] < 0.05
+    assert authz_row["requests"] < 20  # a handful of caps/verifies
+
+
+def test_mds_visible_in_pfs_report():
+    cluster = SimCluster(dev_cluster(), SimConfig(), compute_nodes=4, io_nodes=2, service_nodes=1)
+    dep = PFSDeployment(cluster, n_osts=2)
+    elapsed = run_checkpoint(PFSCheckpointer, dep, cluster, mode="file-per-process")
+    rows = utilization_report(dep, elapsed)
+    names = {r["server"] for r in rows}
+    assert "mds" in names
+    mds = next(r for r in rows if r["server"] == "mds")
+    assert mds["requests"] >= 4 * 2  # create+close per rank at least
+
+
+def test_format_utilization_renders():
+    cluster = SimCluster(dev_cluster(), SimConfig(), compute_nodes=2, io_nodes=2, service_nodes=1)
+    dep = LWFSDeployment(cluster, n_storage_servers=2)
+    elapsed = run_checkpoint(LWFSCheckpointer, dep, cluster, n_ranks=2)
+    text = format_utilization(utilization_report(dep, elapsed))
+    assert "disk_util" in text and "stor0" in text

@@ -1,0 +1,112 @@
+"""Verify modes at the simulation level: caching vs NASD shared key."""
+
+import pytest
+
+from repro.errors import CapabilityRevoked
+from repro.lwfs import OpMask
+from repro.machine import dev_cluster
+from repro.sim import LWFSDeployment, SimCluster, SimConfig
+from repro.storage import SyntheticData, data_equal
+from repro.units import MiB
+
+
+def make(verify_mode):
+    cluster = SimCluster(
+        dev_cluster(), SimConfig(chunk_bytes=1 * MiB), compute_nodes=2, io_nodes=2, service_nodes=1
+    )
+    dep = LWFSDeployment(cluster, n_storage_servers=2, verify_mode=verify_mode)
+    return cluster, dep
+
+
+def drive(cluster, gen):
+    return cluster.env.run(cluster.env.process(gen))
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        make("hope")
+
+
+def test_shared_key_mode_zero_verify_rpcs():
+    cluster, dep = make("shared-key")
+    client = dep.client(cluster.compute_nodes[0])
+
+    def flow():
+        cred = yield from client.get_cred("alice", "alice-password")
+        cid = yield from client.create_container(cred)
+        cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+        oid = yield from client.create_object(cap, 0)
+        data = SyntheticData(2 * MiB, seed=1)
+        yield from client.write(cap, oid, data)
+        back = yield from client.read(cap, oid, 0, 2 * MiB)
+        return data_equal(back, data)
+
+    assert drive(cluster, flow())
+    assert sum(s.verify_rpcs for s in dep.storage) == 0
+    assert dep.authz.svc.verify_count == 0
+
+
+def test_shared_key_mode_misses_revocation_over_the_wire():
+    """The wire-level demonstration of §3.1.2's security argument."""
+    cluster, dep = make("shared-key")
+    client = dep.client(cluster.compute_nodes[0])
+
+    def flow():
+        cred = yield from client.get_cred("alice", "alice-password")
+        cid = yield from client.create_container(cred)
+        cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+        oid = yield from client.create_object(cap, 0)
+        yield from client.revoke(cid, OpMask.ALL)
+        # Still accepted: the storage servers verify locally with the key
+        # and never hear about the revocation.
+        yield from client.write(cap, oid, b"should have been blocked")
+        return True
+
+    assert drive(cluster, flow())
+
+
+def test_cache_mode_blocks_the_same_flow():
+    cluster, dep = make("cache")
+    client = dep.client(cluster.compute_nodes[0])
+
+    def flow():
+        cred = yield from client.get_cred("alice", "alice-password")
+        cid = yield from client.create_container(cred)
+        cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+        oid = yield from client.create_object(cap, 0)
+        yield from client.revoke(cid, OpMask.ALL)
+        try:
+            yield from client.write(cap, oid, b"blocked")
+        except CapabilityRevoked:
+            return "revoked"
+        return "accepted"
+
+    assert drive(cluster, flow()) == "revoked"
+
+
+def test_shared_key_faster_first_touch():
+    """Shared-key saves the first-touch verify round trip; afterwards the
+    two modes cost the same (the cache absorbs everything)."""
+
+    def first_create_latency(mode):
+        cluster, dep = make(mode)
+        client = dep.client(cluster.compute_nodes[0])
+
+        def flow():
+            cred = yield from client.get_cred("alice", "alice-password")
+            cid = yield from client.create_container(cred)
+            cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+            start = cluster.env.now
+            yield from client.create_object(cap, 0)
+            first = cluster.env.now - start
+            start = cluster.env.now
+            yield from client.create_object(cap, 0)
+            second = cluster.env.now - start
+            return first, second
+
+        return drive(cluster, flow())
+
+    shared_first, shared_second = first_create_latency("shared-key")
+    cached_first, cached_second = first_create_latency("cache")
+    assert shared_first < cached_first  # no verify RTT
+    assert shared_second == pytest.approx(cached_second, rel=0.15)

@@ -1,0 +1,90 @@
+"""Tally, Monitor, and Counter instrumentation."""
+
+import math
+
+import pytest
+
+from repro.simkernel import Counter, Environment, Monitor, Tally
+
+
+class TestTally:
+    def test_empty_tally(self):
+        t = Tally()
+        assert t.count == 0
+        assert math.isnan(t.mean)
+        assert t.variance == 0.0
+
+    def test_streaming_stats_match_reference(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        t = Tally()
+        for v in values:
+            t.observe(v)
+        assert t.count == len(values)
+        assert t.mean == pytest.approx(5.0)
+        assert t.min == 2.0
+        assert t.max == 9.0
+        assert t.total == pytest.approx(sum(values))
+        # sample stdev of this classic dataset
+        ref_var = sum((v - 5.0) ** 2 for v in values) / (len(values) - 1)
+        assert t.variance == pytest.approx(ref_var)
+
+    def test_kept_samples(self):
+        t = Tally(keep_samples=True)
+        for v in (1.0, 2.0, 3.0):
+            t.observe(v)
+        assert t.samples == [1.0, 2.0, 3.0]
+
+    def test_summary_keys(self):
+        t = Tally()
+        t.observe(1.0)
+        summary = t.summary()
+        assert set(summary) == {"count", "mean", "stdev", "min", "max", "total"}
+
+
+class TestMonitor:
+    def test_time_average(self):
+        env = Environment()
+        mon = Monitor(env, "queue")
+
+        def driver(env):
+            mon.set(2)
+            yield env.timeout(10)
+            mon.set(4)
+            yield env.timeout(10)
+            mon.set(0)
+
+        env.process(driver(env))
+        env.run()
+        # 2 for 10s + 4 for 10s over 20s => 3.0
+        assert mon.time_average() == pytest.approx(3.0)
+        assert mon.max_level == 4
+
+    def test_add_delta(self):
+        env = Environment()
+        mon = Monitor(env)
+        mon.add(5)
+        mon.add(-2)
+        assert mon.level == 3
+
+
+class TestCounter:
+    def test_incr_and_lookup(self):
+        c = Counter()
+        c.incr("messages")
+        c.incr("messages", 4)
+        c.incr("bytes", 100)
+        assert c["messages"] == 5
+        assert c["bytes"] == 100
+        assert c["missing"] == 0
+
+    def test_items_sorted(self):
+        c = Counter()
+        c.incr("z")
+        c.incr("a")
+        assert [k for k, _ in c.items()] == ["a", "z"]
+
+    def test_clear(self):
+        c = Counter()
+        c.incr("x")
+        c.clear()
+        assert c["x"] == 0

@@ -1,0 +1,134 @@
+"""RaidDevice timing model."""
+
+import pytest
+
+from repro.errors import OutOfSpace
+from repro.machine import StorageSpec
+from repro.simkernel import Environment
+from repro.storage import RaidDevice
+from repro.units import MiB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def device(env):
+    spec = StorageSpec(
+        bandwidth=100 * MiB,
+        seek_time=5e-3,
+        sync_time=4e-3,
+        meta_op_time=1e-4,
+        capacity=10 * MiB,
+    )
+    return RaidDevice(env, spec, name="test-raid")  # no rng => no jitter
+
+
+def run(env, gen):
+    def wrapper():
+        yield from gen
+        return env.now
+
+    return env.run(env.process(wrapper()))
+
+
+class TestTiming:
+    def test_streaming_write_time(self, env, device):
+        t = run(env, device.write(1 * MiB))
+        assert t == pytest.approx(0.01)
+
+    def test_seek_adds_positioning_cost(self, env, device):
+        t = run(env, device.write(1 * MiB, seek=True))
+        assert t == pytest.approx(0.015)
+
+    def test_read_seeks_by_default(self, env, device):
+        t = run(env, device.read(1 * MiB))
+        assert t == pytest.approx(0.015)
+
+    def test_sync_cost(self, env, device):
+        t = run(env, device.sync())
+        assert t == pytest.approx(0.004)
+
+    def test_meta_op_cost(self, env, device):
+        t = run(env, device.meta_op())
+        assert t == pytest.approx(1e-4)
+
+    def test_controller_serializes_bulk(self, env, device):
+        done = []
+
+        def writer(env, i):
+            yield from device.write(1 * MiB)
+            done.append(env.now)
+
+        for i in range(3):
+            env.process(writer(env, i))
+        env.run()
+        assert done == pytest.approx([0.01, 0.02, 0.03])
+
+    def test_meta_ops_bypass_bulk_queue(self, env, device):
+        """Metadata commits ride the NVRAM lane, not the data path."""
+        times = {}
+
+        def bulk(env):
+            yield from device.write(5 * MiB)
+            times["bulk"] = env.now
+
+        def meta(env):
+            yield env.timeout(1e-3)  # start after bulk is in flight
+            yield from device.meta_op()
+            times["meta"] = env.now
+
+        env.process(bulk(env))
+        env.process(meta(env))
+        env.run()
+        assert times["meta"] < 0.01 < times["bulk"] + 1e-9
+
+
+class TestAccounting:
+    def test_capacity_enforced(self, env, device):
+        run(env, device.write(9 * MiB))
+        with pytest.raises(OutOfSpace):
+            run(env, device.write(2 * MiB))
+
+    def test_release_bytes(self, env, device):
+        run(env, device.write(9 * MiB))
+        device.release_bytes(5 * MiB)
+        run(env, device.write(2 * MiB))  # fits again
+        assert device.used_bytes == 6 * MiB
+
+    def test_negative_write_rejected(self, env, device):
+        with pytest.raises(ValueError):
+            run(env, device.write(-1))
+
+    def test_utilization(self, env, device):
+        run(env, device.write(1 * MiB))
+
+        def idle(env):
+            yield env.timeout(0.01)
+
+        env.run(env.process(idle(env)))
+        assert device.utilization(env.now) == pytest.approx(0.5, rel=0.01)
+
+
+class TestJitter:
+    def test_jitter_varies_but_stays_positive(self, env):
+        from repro.simkernel import RandomStreams
+
+        spec = StorageSpec(bandwidth=100 * MiB, seek_time=5e-3)
+        device = RaidDevice(env, spec, rng=RandomStreams(42), jitter=0.1)
+        durations = []
+
+        def writer(env):
+            start = env.now
+            yield from device.write(1 * MiB)
+            durations.append(env.now - start)
+
+        def driver(env):
+            for _ in range(10):
+                yield env.process(writer(env))
+
+        env.run(env.process(driver(env)))
+        assert len(set(durations)) > 1  # jittered
+        assert all(d > 0 for d in durations)

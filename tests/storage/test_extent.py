@@ -1,0 +1,136 @@
+"""ExtentMap unit tests: writes, overlaps, holes, truncation."""
+
+import pytest
+
+from repro.storage import ExtentMap, SyntheticData, piece_bytes
+from repro.units import GiB
+
+
+@pytest.fixture
+def em():
+    return ExtentMap()
+
+
+class TestBasics:
+    def test_empty(self, em):
+        assert em.size == 0
+        assert em.allocated_bytes == 0
+        assert piece_bytes(em.read(0, 4)) == b"\x00" * 4
+
+    def test_simple_write_read(self, em):
+        em.write(0, b"hello")
+        assert piece_bytes(em.read(0, 5)) == b"hello"
+        assert em.size == 5
+
+    def test_write_at_offset_leaves_hole(self, em):
+        em.write(10, b"abc")
+        assert piece_bytes(em.read(8, 7)) == b"\x00\x00abc\x00\x00"
+        assert em.size == 13
+        assert em.allocated_bytes == 3
+
+    def test_zero_length_write_ignored(self, em):
+        em.write(5, b"")
+        assert em.size == 0
+
+    def test_negative_offset_rejected(self, em):
+        with pytest.raises(ValueError):
+            em.write(-1, b"x")
+        with pytest.raises(ValueError):
+            em.read(-1, 2)
+        with pytest.raises(ValueError):
+            em.read(0, -2)
+
+    def test_read_zero_length(self, em):
+        em.write(0, b"xy")
+        assert piece_bytes(em.read(1, 0)) == b""
+
+
+class TestOverlaps:
+    def test_exact_overwrite(self, em):
+        em.write(0, b"aaaa")
+        em.write(0, b"bbbb")
+        assert piece_bytes(em.read(0, 4)) == b"bbbb"
+        assert em.n_segments == 1
+
+    def test_partial_overwrite_middle(self, em):
+        em.write(0, b"aaaaaaaa")
+        em.write(2, b"XX")
+        assert piece_bytes(em.read(0, 8)) == b"aaXXaaaa"
+        assert em.n_segments == 3
+
+    def test_overwrite_left_edge(self, em):
+        em.write(4, b"aaaa")
+        em.write(2, b"XXXX")
+        assert piece_bytes(em.read(2, 6)) == b"XXXXaa"
+
+    def test_overwrite_right_edge(self, em):
+        em.write(0, b"aaaa")
+        em.write(2, b"XXXX")
+        assert piece_bytes(em.read(0, 6)) == b"aaXXXX"
+
+    def test_overwrite_spanning_multiple_segments(self, em):
+        em.write(0, b"aa")
+        em.write(4, b"bb")
+        em.write(8, b"cc")
+        em.write(1, b"ZZZZZZZZ")
+        assert piece_bytes(em.read(0, 10)) == b"aZZZZZZZZc"
+
+    def test_adjacent_writes_do_not_merge_content(self, em):
+        em.write(0, b"ab")
+        em.write(2, b"cd")
+        assert piece_bytes(em.read(0, 4)) == b"abcd"
+
+
+class TestTruncate:
+    def test_truncate_mid_segment(self, em):
+        em.write(0, b"abcdef")
+        em.truncate(3)
+        assert em.size == 3
+        assert piece_bytes(em.read(0, 6)) == b"abc\x00\x00\x00"
+
+    def test_truncate_removes_later_segments(self, em):
+        em.write(0, b"ab")
+        em.write(10, b"cd")
+        em.truncate(5)
+        assert em.size == 5  # POSIX: truncate sets the size exactly
+        assert em.n_segments == 1
+
+    def test_truncate_to_zero(self, em):
+        em.write(0, b"abc")
+        em.truncate(0)
+        assert em.size == 0
+
+    def test_truncate_extends_with_hole(self, em):
+        em.write(0, b"abc")
+        em.truncate(100)
+        assert em.size == 100
+        assert piece_bytes(em.read(3, 4)) == b"\x00" * 4
+
+    def test_negative_rejected(self, em):
+        with pytest.raises(ValueError):
+            em.truncate(-1)
+
+
+class TestLargeSynthetic:
+    def test_huge_object_stays_cheap(self, em):
+        """A 512 GiB write costs O(1) memory thanks to SyntheticData."""
+        em.write(0, SyntheticData(512 * GiB, seed=1))
+        assert em.size == 512 * GiB
+        piece = em.read(100 * GiB, 64)
+        assert piece_bytes(piece) == SyntheticData(512 * GiB, seed=1).slice(
+            100 * GiB, 100 * GiB + 64
+        ).to_bytes()
+
+    def test_byte_overwrite_inside_synthetic(self, em):
+        s = SyntheticData(1 << 20, seed=2)
+        em.write(0, s)
+        em.write(1000, b"MARK")
+        out = piece_bytes(em.read(996, 12))
+        expected = s.to_bytes()[996:1000] + b"MARK" + s.to_bytes()[1004:1008]
+        assert out == expected
+
+    def test_segments_listing(self, em):
+        em.write(0, b"ab")
+        em.write(100, b"cd")
+        segs = em.segments()
+        assert [o for o, _ in segs] == [0, 100]

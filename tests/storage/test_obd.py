@@ -1,0 +1,99 @@
+"""ObjectStore (OBD) semantics."""
+
+import pytest
+
+from repro.errors import NoSuchObject, ObjectExists
+from repro.storage import ObjectStore, SyntheticData, piece_bytes
+
+
+@pytest.fixture
+def store():
+    return ObjectStore(name="t")
+
+
+class TestLifecycle:
+    def test_create_and_exists(self, store):
+        store.create("o1", "c1")
+        assert store.exists("o1")
+        assert not store.exists("o2")
+        assert len(store) == 1
+
+    def test_duplicate_create_rejected(self, store):
+        store.create("o1", "c1")
+        with pytest.raises(ObjectExists):
+            store.create("o1", "c1")
+
+    def test_remove_returns_allocated(self, store):
+        store.create("o1", "c1")
+        store.write("o1", 0, b"12345678")
+        assert store.remove("o1") == 8
+        assert not store.exists("o1")
+
+    def test_remove_missing(self, store):
+        with pytest.raises(NoSuchObject):
+            store.remove("ghost")
+
+
+class TestData:
+    def test_write_read(self, store):
+        store.create("o", "c")
+        assert store.write("o", 0, b"abc") == 3
+        assert piece_bytes(store.read("o", 0, 3)) == b"abc"
+
+    def test_sparse_read(self, store):
+        store.create("o", "c")
+        store.write("o", 10, b"z")
+        assert piece_bytes(store.read("o", 8, 4)) == b"\x00\x00z\x00"
+
+    def test_truncate(self, store):
+        store.create("o", "c")
+        store.write("o", 0, b"abcdef")
+        store.truncate("o", 2)
+        assert store.get_attrs("o")["size"] == 2
+
+    def test_ops_on_missing_object(self, store):
+        with pytest.raises(NoSuchObject):
+            store.write("ghost", 0, b"x")
+        with pytest.raises(NoSuchObject):
+            store.read("ghost", 0, 1)
+
+
+class TestAttributes:
+    def test_size_and_cid_managed(self, store):
+        store.create("o", "c9")
+        store.write("o", 0, SyntheticData(1 << 16, seed=1))
+        attrs = store.get_attrs("o")
+        assert attrs["size"] == 1 << 16
+        assert attrs["cid"] == "c9"
+
+    def test_user_attrs(self, store):
+        store.create("o", "c", attrs={"kind": "ckpt"})
+        store.set_attr("o", "epoch", 3)
+        attrs = store.get_attrs("o")
+        assert attrs["kind"] == "ckpt"
+        assert attrs["epoch"] == 3
+
+    def test_managed_attrs_protected(self, store):
+        store.create("o", "c")
+        with pytest.raises(ValueError):
+            store.set_attr("o", "size", 99)
+        with pytest.raises(ValueError):
+            store.set_attr("o", "cid", "other")
+
+    def test_container_of(self, store):
+        store.create("o", "c3")
+        assert store.container_of("o") == "c3"
+
+
+class TestEnumeration:
+    def test_list_by_container(self, store):
+        store.create("a1", "cA")
+        store.create("a2", "cA")
+        store.create("b1", "cB")
+        assert sorted(store.list_objects("cA")) == ["a1", "a2"]
+        assert store.list_objects("cB") == ["b1"]
+        assert sorted(store.list_objects()) == ["a1", "a2", "b1"]
+
+    def test_iteration(self, store):
+        store.create("x", "c")
+        assert [obj.oid for obj in store] == ["x"]

@@ -1,0 +1,43 @@
+"""Every shipped example must run clean end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("checkpoint_comparison.py", ["8", "4"]),
+    ("seismic_io.py", []),
+    ("failure_recovery.py", []),
+    ("posix_on_lwfs.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they did"
+
+
+def test_quickstart_output_tells_the_story():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    out = result.stdout
+    assert "authenticated" in out
+    assert "revocation" in out
+    assert "transaction committed" in out

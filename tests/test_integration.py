@@ -1,0 +1,164 @@
+"""Cross-stack integration: the full paper story on one simulated cluster.
+
+These tests run the complete pipeline — machine model, network, security
+protocol, storage, application runtime, checkpoint library — and check the
+properties the paper's evaluation rests on.
+"""
+
+import pytest
+
+from repro.bench import run_checkpoint_trial, run_create_trial
+from repro.iolib import LWFSCheckpointer, PFSCheckpointer
+from repro.machine import dev_cluster
+from repro.parallel import ParallelApp
+from repro.pfs import PFSDeployment
+from repro.sim import LWFSDeployment, SimCluster, SimConfig
+from repro.storage import SyntheticData, data_equal
+from repro.units import MiB
+
+SIZE = 4 * MiB
+
+
+def fresh_cluster(n_compute=4, n_io=4):
+    return SimCluster(
+        dev_cluster(),
+        SimConfig(chunk_bytes=1 * MiB),
+        compute_nodes=n_compute,
+        io_nodes=n_io,
+        service_nodes=1,
+    )
+
+
+@pytest.mark.parametrize("impl_name", ["lwfs", "fpp", "shared"])
+def test_all_three_stacks_preserve_every_rank_state(impl_name):
+    """Whatever the stack, restart returns exactly what was dumped."""
+    cluster = fresh_cluster()
+    if impl_name == "lwfs":
+        ck = LWFSCheckpointer(LWFSDeployment(cluster, n_storage_servers=4))
+    else:
+        mode = "file-per-process" if impl_name == "fpp" else "shared"
+        ck = PFSCheckpointer(PFSDeployment(cluster, n_osts=4), mode=mode)
+    app = ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=4)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        state = SyntheticData(SIZE, seed=900 + ctx.rank, origin=ctx.rank * SIZE)
+        yield from ck.checkpoint(ctx, state, path="/ckpt/x")
+        recovered, _ = yield from ck.restart(ctx, "/ckpt/x")
+        return data_equal(recovered, state)
+
+    assert all(app.run(main))
+
+
+def test_multiple_checkpoint_generations_coexist():
+    cluster = fresh_cluster()
+    lwfs = LWFSDeployment(cluster, n_storage_servers=4)
+    ck = LWFSCheckpointer(lwfs)
+    app = ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=2)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        states = []
+        for gen in range(3):
+            state = SyntheticData(SIZE, seed=gen * 10 + ctx.rank)
+            yield from ck.checkpoint(ctx, state, path=f"/ckpt/gen{gen}")
+            states.append(state)
+        # Every generation independently restorable (time-travel restart).
+        for gen in range(3):
+            recovered, _ = yield from ck.restart(ctx, f"/ckpt/gen{gen}")
+            if not data_equal(recovered, states[gen]):
+                return False
+        return True
+
+    assert all(app.run(main))
+
+
+def test_no_o_n_state_on_servers():
+    """Design rule 2 (§2.3): per-server security state is bounded by the
+    number of distinct capabilities, never by the number of clients."""
+    cluster = fresh_cluster(n_compute=8)
+    lwfs = LWFSDeployment(cluster, n_storage_servers=2)
+    ck = LWFSCheckpointer(lwfs)
+    n_ranks = 8
+    app = ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=n_ranks)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        yield from ck.checkpoint(ctx, SyntheticData(1 * MiB, seed=ctx.rank))
+        return True
+
+    app.run(main)
+    for server in lwfs.storage:
+        # One shared capability -> exactly one cache entry per server,
+        # regardless of the 8 clients using it.
+        assert len(server.svc.cache) <= 1
+
+
+def test_verify_traffic_is_o_caps_times_servers_not_o_accesses():
+    cluster = fresh_cluster(n_compute=8)
+    lwfs = LWFSDeployment(cluster, n_storage_servers=4)
+    ck = LWFSCheckpointer(lwfs)
+    app = ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=8)
+
+    def main(ctx):
+        yield from ck.setup(ctx)
+        for _ in range(2):
+            yield from ck.checkpoint(ctx, SyntheticData(1 * MiB, seed=ctx.rank))
+        return True
+
+    app.run(main)
+    total_verifies = sum(s.verify_rpcs for s in lwfs.storage)
+    assert total_verifies <= lwfs.n_servers  # one cap, m servers
+
+
+def test_headline_result_at_paper_scale_subset():
+    """One column of Fig. 9/10 at 16 clients / 8 servers: LWFS and fpp tie
+    on bandwidth, shared trails at roughly half, and LWFS creates are more
+    than an order of magnitude faster."""
+    lwfs = run_checkpoint_trial("lwfs", 16, 8, state_bytes=16 * MiB, seed=11)
+    fpp = run_checkpoint_trial("lustre-fpp", 16, 8, state_bytes=16 * MiB, seed=11)
+    shared = run_checkpoint_trial("lustre-shared", 16, 8, state_bytes=16 * MiB, seed=11)
+
+    assert lwfs.throughput_mb_s == pytest.approx(fpp.throughput_mb_s, rel=0.25)
+    assert 0.3 <= shared.throughput_mb_s / fpp.throughput_mb_s <= 0.7
+
+    lwfs_creates = run_create_trial("lwfs", 16, 8, creates_per_client=16, seed=11)
+    lustre_creates = run_create_trial("lustre-fpp", 16, 8, creates_per_client=16, seed=11)
+    assert (
+        lwfs_creates.extra["creates_per_s"] > 15 * lustre_creates.extra["creates_per_s"]
+    )
+
+
+def test_revocation_is_near_immediate_in_simulated_time():
+    """§3.1.4: after revoke() returns, no server accepts the capability —
+    and the wall-clock cost is a handful of RPCs, not a broadcast to n."""
+    from repro.errors import CapabilityRevoked
+    from repro.lwfs import OpMask
+
+    cluster = fresh_cluster()
+    lwfs = LWFSDeployment(cluster, n_storage_servers=4)
+    env = cluster.env
+    client = lwfs.client(cluster.compute_nodes[0])
+
+    def flow():
+        cred = yield from client.get_cred("alice", "alice-password")
+        cid = yield from client.create_container(cred)
+        cap = yield from client.get_caps(cred, cid, OpMask.ALL)
+        # Warm every server's cache.
+        for sid in range(4):
+            yield from client.create_object(cap, sid)
+        start = env.now
+        yield from client.revoke(cid, OpMask.ALL)
+        revoke_cost = env.now - start
+        # Immediately afterwards every server must reject the capability.
+        rejected = 0
+        for sid in range(4):
+            try:
+                yield from client.create_object(cap, sid)
+            except CapabilityRevoked:
+                rejected += 1
+        return revoke_cost, rejected
+
+    revoke_cost, rejected = env.run(env.process(flow()))
+    assert rejected == 4
+    assert revoke_cost < 2e-3  # a few control RPCs, sub-millisecond-ish

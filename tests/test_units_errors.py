@@ -1,0 +1,78 @@
+"""Unit helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+    gb_per_s,
+    mb_per_s,
+)
+
+
+class TestUnits:
+    def test_byte_multiples(self):
+        assert KiB == 1024
+        assert MiB == 1024 * 1024
+        assert GiB == 1024**3
+
+    def test_rate_helpers(self):
+        assert mb_per_s(400) == 400 * MiB
+        assert gb_per_s(6) == 6 * GiB
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.0 KiB"
+        assert fmt_bytes(512 * MiB) == "512.0 MiB"
+        assert fmt_bytes(3 * GiB) == "3.0 GiB"
+
+    def test_fmt_time(self):
+        assert fmt_time(5e-6) == "5.0 us"
+        assert fmt_time(3.2e-3) == "3.20 ms"
+        assert fmt_time(1.5) == "1.50 s"
+        assert fmt_time(300) == "5.0 min"
+
+    def test_fmt_rate(self):
+        assert fmt_rate(400 * MiB) == "400.0 MB/s"
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        leaves = [
+            errors.CredentialExpired,
+            errors.CapabilityRevoked,
+            errors.PermissionDenied,
+            errors.NoSuchObject,
+            errors.NameExists,
+            errors.TransactionAborted,
+            errors.LockConflict,
+            errors.NoSuchFile,
+            errors.RPCTimeout,
+            errors.NodeFailure,
+        ]
+        for leaf in leaves:
+            assert issubclass(leaf, errors.ReproError), leaf
+
+    def test_security_grouping(self):
+        assert issubclass(errors.CredentialRevoked, errors.AuthenticationError)
+        assert issubclass(errors.CapabilityInvalid, errors.AuthorizationError)
+        assert issubclass(errors.PermissionDenied, errors.SecurityError)
+        # Authn failures are not authz failures.
+        assert not issubclass(errors.CredentialExpired, errors.AuthorizationError)
+
+    def test_catching_by_family(self):
+        with pytest.raises(errors.SecurityError):
+            raise errors.CapabilityExpired("old")
+        with pytest.raises(errors.StorageError):
+            raise errors.OutOfSpace("full")
+        with pytest.raises(errors.NetworkError):
+            raise errors.RPCTimeout("slow")
+
+    def test_pfs_and_lwfs_errors_disjoint(self):
+        assert not issubclass(errors.NoSuchFile, errors.StorageError)
+        assert not issubclass(errors.NoSuchObject, errors.PFSError)
