@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-quick
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full benchmark grid (prints tables; writes results/*.json).
+bench:
+	$(PYTHON) -m pytest benchmarks -q -s
+
+# CI smoke: a quick sweep fanned over 2 worker processes, re-run serially,
+# asserted bit-identical.  Per-trial stats land in BENCH_sweep.json.
+bench-quick:
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m repro.bench.executor --jobs 2 --check-determinism

@@ -16,7 +16,7 @@ from conftest import run_once
 
 
 @pytest.fixture(scope="module")
-def sweeps(scale):
+def sweeps(scale, jobs):
     cache = {}
 
     def get(impl):
@@ -27,6 +27,7 @@ def sweeps(scale):
                 servers=scale["servers"],
                 creates_per_client=scale["creates_per_client"],
                 trials=scale["trials"],
+                jobs=jobs,
             )
         return cache[impl]
 

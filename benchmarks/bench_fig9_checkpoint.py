@@ -16,23 +16,24 @@ from repro.bench import fig9_panel, format_series_table, save_json
 from conftest import run_once
 
 
-def _panel(impl, scale):
+def _panel(impl, scale, jobs=None):
     return fig9_panel(
         impl,
         clients=scale["clients"],
         servers=scale["servers"],
         state_bytes=scale["state_bytes"],
         trials=scale["trials"],
+        jobs=jobs,
     )
 
 
 @pytest.fixture(scope="module")
-def panels(scale):
+def panels(scale, jobs):
     cache = {}
 
     def get(impl):
         if impl not in cache:
-            cache[impl] = _panel(impl, scale)
+            cache[impl] = _panel(impl, scale, jobs)
         return cache[impl]
 
     return get

@@ -8,13 +8,18 @@ Every benchmark prints the series/rows it regenerates (run pytest with
   reduced per-client state size (throughput is size-invariant; see
   tests/bench/test_harness.py::test_throughput_roughly_size_invariant).
 * ``REPRO_BENCH_FULL=1``   — the paper's full 512 MB per client.
+
+Parallelism: sweeps fan trials out over ``REPRO_BENCH_JOBS`` worker
+processes (default: CPU count) via :mod:`repro.bench.executor`; results
+are bit-identical to a serial run, and per-trial wall-clock/event stats
+land in ``BENCH_sweep.json`` at the repo root.
 """
 
 import os
 
 import pytest
 
-from repro.bench import PAPER_STATE_BYTES
+from repro.bench import PAPER_STATE_BYTES, resolve_jobs
 from repro.units import MiB
 
 
@@ -47,6 +52,12 @@ def _scale():
 @pytest.fixture(scope="session")
 def scale():
     return _scale()
+
+
+@pytest.fixture(scope="session")
+def jobs():
+    """Worker-process count for sweeps (REPRO_BENCH_JOBS or CPU count)."""
+    return resolve_jobs()
 
 
 def run_once(benchmark, fn):

@@ -1,6 +1,16 @@
 """Benchmark harness: workloads, sweeps, reporting, analytic models."""
 
 from .analytic import CheckpointModel, petaflop_extrapolation
+from .executor import (
+    TrialOutcome,
+    TrialSpec,
+    checkpoint_spec,
+    create_spec,
+    resolve_jobs,
+    run_sweep,
+    run_trials,
+    sweep_json_path,
+)
 from .figures import FIG9_CLIENTS, FIG9_SERVERS, fig9_panel, fig10_comparison, fig10_panel
 from .harness import (
     IMPLEMENTATIONS,
@@ -19,6 +29,14 @@ __all__ = [
     "PAPER_STATE_BYTES",
     "TrialResult",
     "SweepPoint",
+    "TrialSpec",
+    "TrialOutcome",
+    "checkpoint_spec",
+    "create_spec",
+    "resolve_jobs",
+    "run_trials",
+    "run_sweep",
+    "sweep_json_path",
     "run_checkpoint_trial",
     "run_create_trial",
     "measure_point",

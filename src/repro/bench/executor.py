@@ -1,0 +1,331 @@
+"""Parallel sweep executor: fan independent trials out over processes.
+
+The paper's evaluation is a grid sweep — implementations × client counts
+× server counts × trials — and every trial is a fully independent,
+deterministic simulation.  This module runs those trials over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and reassembles the
+results *keyed by input position*, never by completion order, so a
+parallel sweep is bit-identical to a serial one.
+
+Knobs
+-----
+* ``jobs=`` argument (or ``--jobs``/``-j`` on the CLI),
+* ``REPRO_BENCH_JOBS`` environment variable,
+* default: ``os.cpu_count()``.
+
+``jobs=1`` (or a pool that cannot be created — missing ``fork``,
+sandboxed semaphores, unpicklable trial parameters) falls back to plain
+in-process execution, which is also the reference the determinism tests
+compare against.
+
+Every recorded sweep appends per-trial wall-clock and event-loop stats to
+``BENCH_sweep.json`` at the repository root (override the path with
+``REPRO_BENCH_SWEEP_JSON``), so speedups are measurable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pickle import PicklingError
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "TrialSpec",
+    "TrialOutcome",
+    "checkpoint_spec",
+    "create_spec",
+    "resolve_jobs",
+    "run_trials",
+    "run_sweep",
+    "sweep_json_path",
+]
+
+#: Schema marker written into BENCH_sweep.json.
+SWEEP_SCHEMA = "repro-bench-sweep/v1"
+
+#: Cap on recorded sweep entries kept in BENCH_sweep.json.
+SWEEP_HISTORY = 50
+
+
+@dataclass
+class TrialSpec:
+    """One independent simulation to run: what, at which point, which seed."""
+
+    kind: str  # "checkpoint" (Fig. 9) or "create" (Fig. 10)
+    impl: str
+    n_clients: int
+    n_servers: int
+    seed: int
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        """Stable identity used for result assembly and JSON records."""
+        return (self.kind, self.impl, self.n_clients, self.n_servers, self.seed)
+
+
+@dataclass
+class TrialOutcome:
+    """A finished trial: the figure of merit plus executor-side stats.
+
+    ``value``/``unit`` are the deterministic simulation outputs;
+    ``wall_clock_s`` is host time and intentionally kept out of every
+    aggregate that must be reproducible.
+    """
+
+    spec: TrialSpec
+    value: float
+    unit: str
+    wall_clock_s: float
+    events_processed: int
+    peak_event_queue: int
+
+
+def checkpoint_spec(impl: str, n_clients: int, n_servers: int, seed: int, **params) -> TrialSpec:
+    """A Fig. 9 dump-phase trial (figure of merit: MB/s)."""
+    return TrialSpec("checkpoint", impl, n_clients, n_servers, seed, params)
+
+
+def create_spec(impl: str, n_clients: int, n_servers: int, seed: int, **params) -> TrialSpec:
+    """A Fig. 10 create-phase trial (figure of merit: creates/s)."""
+    return TrialSpec("create", impl, n_clients, n_servers, seed, params)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the worker count: argument > ``REPRO_BENCH_JOBS`` > cores."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(f"REPRO_BENCH_JOBS={raw!r} is not an integer") from None
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _run_trial(spec: TrialSpec) -> TrialOutcome:
+    """Execute one trial (runs in a worker process or in-process)."""
+    from .harness import run_checkpoint_trial, run_create_trial
+
+    start = time.perf_counter()
+    if spec.kind == "checkpoint":
+        result = run_checkpoint_trial(
+            spec.impl, spec.n_clients, spec.n_servers, seed=spec.seed, **spec.params
+        )
+        value, unit = result.throughput_mb_s, "MB/s"
+    elif spec.kind == "create":
+        result = run_create_trial(
+            spec.impl, spec.n_clients, spec.n_servers, seed=spec.seed, **spec.params
+        )
+        value, unit = result.extra["creates_per_s"], "ops/s"
+    else:
+        raise ValueError(f"unknown trial kind {spec.kind!r}")
+    wall = time.perf_counter() - start
+    return TrialOutcome(
+        spec=spec,
+        value=value,
+        unit=unit,
+        wall_clock_s=wall,
+        events_processed=int(result.extra.get("events_processed", 0)),
+        peak_event_queue=int(result.extra.get("peak_event_queue", 0)),
+    )
+
+
+def _pool_context():
+    """Prefer fork (inherits sys.path / env) where the platform has it."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def run_trials(specs: Sequence[TrialSpec], jobs: Optional[int] = None) -> List[TrialOutcome]:
+    """Run every trial and return outcomes in input order.
+
+    With ``jobs > 1`` the trials run on a process pool; the merge is keyed
+    by input position, so the output is bit-identical to the serial path
+    regardless of which worker finishes first.  Pool-infrastructure
+    failures (no fork, no semaphores, unpicklable params) degrade to the
+    in-process path; real trial errors propagate either way.
+    """
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(specs) <= 1:
+        return [_run_trial(spec) for spec in specs]
+
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(specs)), mp_context=_pool_context()
+        ) as pool:
+            futures = {pool.submit(_run_trial, spec): i for i, spec in enumerate(specs)}
+            merged: Dict[int, TrialOutcome] = {}
+            for future in as_completed(futures):
+                merged[futures[future]] = future.result()
+        return [merged[i] for i in range(len(specs))]
+    except (OSError, PicklingError, ImportError, PermissionError) as exc:
+        # The pool itself is unavailable; the sweep still has to finish.
+        import warnings
+
+        warnings.warn(
+            f"process pool unavailable ({type(exc).__name__}: {exc}); "
+            "falling back to in-process execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [_run_trial(spec) for spec in specs]
+
+
+def sweep_json_path() -> str:
+    """Where sweep trajectories are recorded (``REPRO_BENCH_SWEEP_JSON``)."""
+    override = os.environ.get("REPRO_BENCH_SWEEP_JSON")
+    if override:
+        return override
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.normpath(os.path.join(here, "..", "..", "..", "BENCH_sweep.json"))
+
+
+def run_sweep(
+    specs: Sequence[TrialSpec],
+    jobs: Optional[int] = None,
+    label: str = "sweep",
+    record: bool = True,
+) -> List[TrialOutcome]:
+    """Run a whole sweep, optionally recording stats to BENCH_sweep.json."""
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    start = time.perf_counter()
+    outcomes = run_trials(specs, jobs=jobs)
+    wall = time.perf_counter() - start
+    if record:
+        _record_sweep(label, jobs, wall, outcomes)
+    return outcomes
+
+
+def _record_sweep(label: str, jobs: int, wall: float, outcomes: List[TrialOutcome]) -> None:
+    path = sweep_json_path()
+    doc: Dict[str, Any] = {"schema": SWEEP_SCHEMA, "sweeps": []}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            existing = json.load(fh)
+        if isinstance(existing, dict) and isinstance(existing.get("sweeps"), list):
+            doc = existing
+            doc["schema"] = SWEEP_SCHEMA
+    except (OSError, ValueError):
+        pass
+
+    serial_s = sum(o.wall_clock_s for o in outcomes)
+    doc["sweeps"].append(
+        {
+            "label": label,
+            "jobs": jobs,
+            "trials": len(outcomes),
+            "wall_clock_s": round(wall, 6),
+            "serial_trial_s": round(serial_s, 6),
+            "speedup": round(serial_s / wall, 3) if wall > 0 else None,
+            "events_processed": sum(o.events_processed for o in outcomes),
+            "per_trial": [
+                {
+                    "kind": o.spec.kind,
+                    "impl": o.spec.impl,
+                    "n_clients": o.spec.n_clients,
+                    "n_servers": o.spec.n_servers,
+                    "seed": o.spec.seed,
+                    "value": o.value,
+                    "unit": o.unit,
+                    "wall_clock_s": round(o.wall_clock_s, 6),
+                    "events_processed": o.events_processed,
+                    "peak_event_queue": o.peak_event_queue,
+                }
+                for o in outcomes
+            ],
+        }
+    )
+    doc["sweeps"] = doc["sweeps"][-SWEEP_HISTORY:]
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    except OSError:  # pragma: no cover - read-only checkout
+        pass
+
+
+def _quick_grid() -> List[TrialSpec]:
+    """The CI smoke sweep: a reduced Fig. 9 + Fig. 10 grid."""
+    from ..units import MiB
+
+    specs: List[TrialSpec] = []
+    for impl in ("lwfs", "lustre-fpp"):
+        for m in (2, 16):
+            for n in (2, 8):
+                for t in range(2):
+                    specs.append(
+                        checkpoint_spec(impl, n, m, seed=100 + t, state_bytes=8 * MiB)
+                    )
+    for m in (2, 16):
+        for n in (2, 8):
+            for t in range(2):
+                specs.append(create_spec("lwfs", n, m, seed=200 + t, creates_per_client=8))
+    return specs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.bench.executor``: smoke-run the parallel sweep.
+
+    Runs the quick grid with the requested job count, optionally re-runs
+    it serially and asserts bit-identical results, and records both runs
+    in BENCH_sweep.json.  This is what ``make bench-quick`` / CI invokes.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.executor",
+        description="Smoke-run the parallel sweep executor on a reduced grid.",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_BENCH_JOBS or CPU count)",
+    )
+    parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="re-run the sweep with jobs=1 and require bit-identical results",
+    )
+    args = parser.parse_args(argv)
+
+    jobs = resolve_jobs(args.jobs)
+    specs = _quick_grid()
+    start = time.perf_counter()
+    outcomes = run_sweep(specs, jobs=jobs, label=f"quick(jobs={jobs})")
+    wall = time.perf_counter() - start
+    print(
+        f"quick sweep: {len(outcomes)} trials, jobs={jobs}, "
+        f"{wall:.2f}s wall, {sum(o.events_processed for o in outcomes)} events"
+    )
+
+    if args.check_determinism:
+        serial = run_sweep(specs, jobs=1, label="quick(jobs=1)")
+        mismatches = [
+            (o.spec.key(), o.value, s.value)
+            for o, s in zip(outcomes, serial)
+            if o.value != s.value
+        ]
+        if mismatches:
+            for key, par, ser in mismatches[:10]:
+                print(f"MISMATCH {key}: parallel={par!r} serial={ser!r}")
+            return 1
+        print(f"determinism ok: {len(serial)} trials bit-identical at jobs={jobs} vs jobs=1")
+
+    print(f"recorded -> {sweep_json_path()}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

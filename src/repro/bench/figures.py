@@ -9,6 +9,12 @@ The sweeps default to a scaled-down state size (the MB/s figure of merit
 is size-invariant once transfers amortize — checked by
 ``tests/bench/test_harness.py``); pass ``state_bytes=PAPER_STATE_BYTES``
 for the full 512 MB runs.
+
+Every panel fans its (clients × servers × trials) grid out through
+:mod:`repro.bench.executor`; ``jobs=None`` resolves ``REPRO_BENCH_JOBS``
+or the CPU count, ``jobs=1`` forces the serial reference path.  Results
+are assembled keyed by grid position, so they are bit-identical at any
+job count.
 """
 
 from __future__ import annotations
@@ -16,7 +22,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..units import MiB
-from .harness import SweepPoint, measure_create_point, measure_point
+from .executor import TrialSpec, checkpoint_spec, create_spec, run_sweep
+from .harness import SweepPoint, _aggregate
 
 __all__ = [
     "FIG9_CLIENTS",
@@ -32,21 +39,43 @@ FIG9_CLIENTS: Sequence[int] = (2, 4, 8, 16, 32, 48, 64)
 FIG9_SERVERS: Sequence[int] = (2, 4, 8, 16)
 
 
+def _sweep_points(
+    specs: List[TrialSpec],
+    trials: int,
+    unit: str,
+    jobs: Optional[int],
+    label: str,
+) -> List[SweepPoint]:
+    """Run *specs* (grouped in blocks of *trials*) and aggregate each block."""
+    outcomes = run_sweep(specs, jobs=jobs, label=label)
+    points: List[SweepPoint] = []
+    for i in range(0, len(outcomes), trials):
+        block = outcomes[i : i + trials]
+        spec = block[0].spec
+        points.append(
+            _aggregate(
+                spec.impl, spec.n_clients, spec.n_servers, [o.value for o in block], unit
+            )
+        )
+    return points
+
+
 def fig9_panel(
     impl: str,
     clients: Sequence[int] = FIG9_CLIENTS,
     servers: Sequence[int] = FIG9_SERVERS,
     state_bytes: int = 64 * MiB,
     trials: int = 3,
+    jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
     """One panel of Figure 9: throughput for every (clients, servers)."""
-    points: List[SweepPoint] = []
-    for m in servers:
-        for n in clients:
-            points.append(
-                measure_point(impl, n, m, trials=trials, state_bytes=state_bytes)
-            )
-    return points
+    specs = [
+        checkpoint_spec(impl, n, m, seed=100 + t, state_bytes=state_bytes)
+        for m in servers
+        for n in clients
+        for t in range(trials)
+    ]
+    return _sweep_points(specs, trials, "MB/s", jobs, f"fig9:{impl}")
 
 
 def fig10_panel(
@@ -55,17 +84,16 @@ def fig10_panel(
     servers: Sequence[int] = FIG9_SERVERS,
     creates_per_client: int = 32,
     trials: int = 3,
+    jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Figure 10 (b) or (c): create throughput sweep for one stack."""
-    points: List[SweepPoint] = []
-    for m in servers:
-        for n in clients:
-            points.append(
-                measure_create_point(
-                    impl, n, m, trials=trials, creates_per_client=creates_per_client
-                )
-            )
-    return points
+    specs = [
+        create_spec(impl, n, m, seed=200 + t, creates_per_client=creates_per_client)
+        for m in servers
+        for n in clients
+        for t in range(trials)
+    ]
+    return _sweep_points(specs, trials, "ops/s", jobs, f"fig10:{impl}")
 
 
 def fig10_comparison(
@@ -73,14 +101,16 @@ def fig10_comparison(
     n_servers: int = 16,
     creates_per_client: int = 32,
     trials: int = 3,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List[SweepPoint]]:
     """Figure 10 (a): the 16-server LWFS-vs-Lustre log-scale comparison."""
-    out: Dict[str, List[SweepPoint]] = {}
-    for impl in ("lwfs", "lustre-fpp"):
-        out[impl] = [
-            measure_create_point(
-                impl, n, n_servers, trials=trials, creates_per_client=creates_per_client
-            )
-            for n in clients
-        ]
-    return out
+    impls = ("lwfs", "lustre-fpp")
+    specs = [
+        create_spec(impl, n, n_servers, seed=200 + t, creates_per_client=creates_per_client)
+        for impl in impls
+        for n in clients
+        for t in range(trials)
+    ]
+    points = _sweep_points(specs, trials, "ops/s", jobs, "fig10a:comparison")
+    per_impl = len(clients)
+    return {impl: points[i * per_impl : (i + 1) * per_impl] for i, impl in enumerate(impls)}

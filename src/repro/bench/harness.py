@@ -141,6 +141,7 @@ def run_checkpoint_trial(
         mean_elapsed=mean_elapsed,
         throughput_mb_s=(n_clients * state_bytes / MiB) / max_elapsed,
         create_max_elapsed=max(r.create_elapsed for r in results),
+        extra=_kernel_stats(cluster),
     )
 
 
@@ -168,6 +169,8 @@ def run_create_trial(
     results = app.run(main)
     max_elapsed = max(r.elapsed for r in results)
     total_creates = n_clients * creates_per_client
+    extra = _kernel_stats(cluster)
+    extra["creates_per_s"] = total_creates / max_elapsed
     return TrialResult(
         impl=impl,
         n_clients=n_clients,
@@ -176,11 +179,25 @@ def run_create_trial(
         max_elapsed=max_elapsed,
         mean_elapsed=sum(r.elapsed for r in results) / len(results),
         throughput_mb_s=0.0,
-        extra={"creates_per_s": total_creates / max_elapsed},
+        extra=extra,
     )
 
 
+def _kernel_stats(cluster) -> Dict[str, float]:
+    """Deterministic event-loop stats for one finished trial."""
+    env = cluster.env
+    return {
+        "events_processed": float(env.events_processed),
+        "peak_event_queue": float(env.peak_queue_len),
+    }
+
+
 def _aggregate(impl, n_clients, n_servers, values: List[float], unit: str) -> SweepPoint:
+    if not values:
+        raise ValueError(
+            f"cannot aggregate an empty trials list for "
+            f"({impl}, clients={n_clients}, servers={n_servers})"
+        )
     mean = sum(values) / len(values)
     var = sum((v - mean) ** 2 for v in values) / (len(values) - 1) if len(values) > 1 else 0.0
     return SweepPoint(
@@ -201,15 +218,26 @@ def measure_point(
     trials: int = 3,
     state_bytes: int = PAPER_STATE_BYTES,
     base_seed: int = 100,
+    jobs: Optional[int] = 1,
     **kwargs,
 ) -> SweepPoint:
-    """Dump-phase throughput (MB/s) averaged over *trials* runs."""
-    values = [
-        run_checkpoint_trial(
-            impl, n_clients, n_servers, state_bytes=state_bytes, seed=base_seed + t, **kwargs
-        ).throughput_mb_s
+    """Dump-phase throughput (MB/s) averaged over *trials* runs.
+
+    ``jobs`` fans the trials out over worker processes (see
+    :mod:`repro.bench.executor`); the default of 1 keeps a single point
+    in-process.  Results are bit-identical either way.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    from .executor import checkpoint_spec, run_trials
+
+    specs = [
+        checkpoint_spec(
+            impl, n_clients, n_servers, seed=base_seed + t, state_bytes=state_bytes, **kwargs
+        )
         for t in range(trials)
     ]
+    values = [o.value for o in run_trials(specs, jobs=jobs)]
     return _aggregate(impl, n_clients, n_servers, values, "MB/s")
 
 
@@ -220,18 +248,24 @@ def measure_create_point(
     trials: int = 3,
     creates_per_client: int = 32,
     base_seed: int = 200,
+    jobs: Optional[int] = 1,
     **kwargs,
 ) -> SweepPoint:
     """Create-phase throughput (ops/s) averaged over *trials* runs."""
-    values = [
-        run_create_trial(
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    from .executor import create_spec, run_trials
+
+    specs = [
+        create_spec(
             impl,
             n_clients,
             n_servers,
-            creates_per_client=creates_per_client,
             seed=base_seed + t,
+            creates_per_client=creates_per_client,
             **kwargs,
-        ).extra["creates_per_s"]
+        )
         for t in range(trials)
     ]
+    values = [o.value for o in run_trials(specs, jobs=jobs)]
     return _aggregate(impl, n_clients, n_servers, values, "ops/s")

@@ -57,6 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
     create.add_argument("--per-client", type=int, default=32)
     create.add_argument("--seed", type=int, default=1)
 
+    def positive_int(text):
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def add_jobs_flag(p):
+        p.add_argument(
+            "-j", "--jobs", type=positive_int, default=None, metavar="N",
+            help="worker processes for the sweep (default: REPRO_BENCH_JOBS "
+                 "env var, else the CPU count; 1 = serial in-process)",
+        )
+
     fig9 = sub.add_parser("fig9", help="one Fig. 9 panel, charted")
     fig9.add_argument("--impl", default="lwfs",
                       choices=["lwfs", "lustre-fpp", "lustre-shared"])
@@ -64,12 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
     fig9.add_argument("--trials", type=int, default=1)
     fig9.add_argument("--clients", type=int, nargs="+", default=list(FIG9_CLIENTS))
     fig9.add_argument("--servers", type=int, nargs="+", default=list(FIG9_SERVERS))
+    add_jobs_flag(fig9)
 
     fig10 = sub.add_parser("fig10", help="one Fig. 10 panel, charted (log y)")
     fig10.add_argument("--impl", default="lwfs", choices=["lwfs", "lustre-fpp"])
     fig10.add_argument("--trials", type=int, default=1)
     fig10.add_argument("--clients", type=int, nargs="+", default=list(FIG9_CLIENTS))
     fig10.add_argument("--servers", type=int, nargs="+", default=list(FIG9_SERVERS))
+    add_jobs_flag(fig10)
 
     sub.add_parser("petaflop", help="§4 extrapolation to a petaflop machine")
     sub.add_parser("examples", help="list the runnable examples")
@@ -137,6 +152,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             servers=tuple(args.servers),
             state_bytes=args.state_mb * MiB,
             trials=args.trials,
+            jobs=args.jobs,
         )
         print(format_series_table(f"Figure 9 — {args.impl} checkpoint throughput", points))
         print()
@@ -148,6 +164,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             clients=tuple(args.clients),
             servers=tuple(args.servers),
             trials=args.trials,
+            jobs=args.jobs,
         )
         print(format_series_table(f"Figure 10 — {args.impl} creation throughput", points))
         print()

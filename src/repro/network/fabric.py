@@ -14,6 +14,7 @@ which is how failure-injection experiments observe lost servers.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -23,7 +24,15 @@ from ..machine.topology import Topology, make_topology
 from ..simkernel import Counter, Environment, Event
 from .nic import NIC
 
-__all__ = ["Message", "Fabric"]
+__all__ = ["Message", "Fabric", "FASTPATH"]
+
+#: When true (default), transfers over uncontended pipes take an analytic
+#: fast path: the pipe slots are claimed and released without any of the
+#: queued path's request/release event-loop turns, leaving only the two
+#: timing events (serialization, wire latency).  Simulated timestamps are
+#: bit-identical to the queued path.  Set ``REPRO_FABRIC_FASTPATH=0`` to
+#: force the reference queued path (used by the equivalence tests).
+FASTPATH = os.environ.get("REPRO_FABRIC_FASTPATH", "1") != "0"
 
 
 @dataclass
@@ -105,6 +114,15 @@ class Fabric:
         """
         return self.env.process(self._transfer_proc(msg), name=f"xfer:{msg.tag}")
 
+    def transfer_inline(self, msg: Message):
+        """The transfer as a plain generator, for ``yield from`` callers.
+
+        Skips the :class:`~repro.simkernel.process.Process` wrapper (and
+        its start/finish events) when the caller immediately waits on the
+        transfer anyway — the common case for portals and RPC traffic.
+        """
+        return self._transfer_proc(msg)
+
     def _transfer_proc(self, msg: Message):
         env = self.env
         src = self.node(msg.src)
@@ -124,20 +142,45 @@ class Fabric:
             tx_pipe = src.nic.ctl_tx if control else src.nic.tx
             rx_pipe = dst.nic.ctl_rx if control else dst.nic.rx
             rate = min(tx_pipe.bandwidth, rx_pipe.bandwidth)
-            # Hold both endpoint pipes for the serialization time so that
-            # contention at either end throttles the transfer.
-            with tx_pipe._slot.request() as tx_req:
-                yield tx_req
-                with rx_pipe._slot.request() as rx_req:
-                    yield rx_req
-                    duration = wire_bytes / rate
-                    start = env.now
-                    yield env.timeout(duration)
-                    for pipe in (tx_pipe, rx_pipe):
-                        pipe.bytes_moved += wire_bytes
-                        pipe.busy_time += env.now - start
+            duration = wire_bytes / rate
 
-            yield env.timeout(self.wire_latency(msg.src, msg.dst))
+            tx_tok = tx_pipe._slot.try_acquire() if FASTPATH else None
+            rx_tok = None
+            if tx_tok is not None:
+                rx_tok = rx_pipe._slot.try_acquire()
+                if rx_tok is None:
+                    # Receiver is busy: fall back to the queued path below
+                    # (which re-claims tx first, exactly as before).
+                    tx_pipe._slot.release(tx_tok)
+                    tx_tok = None
+
+            if rx_tok is not None:
+                # Uncontended fast path: both pipes claimed synchronously,
+                # so the request/release event churn of the queued path
+                # disappears and only the two timing events remain.  The
+                # timeout split (serialization, then wire latency) mirrors
+                # the queued path exactly so timestamps stay bit-identical.
+                yield env.timeout(duration)
+                for pipe in (tx_pipe, rx_pipe):
+                    pipe.bytes_moved += wire_bytes
+                    pipe.busy_time += duration
+                rx_pipe._slot.release(rx_tok)
+                tx_pipe._slot.release(tx_tok)
+                yield env.timeout(self.wire_latency(msg.src, msg.dst))
+            else:
+                # Hold both endpoint pipes for the serialization time so
+                # that contention at either end throttles the transfer.
+                with tx_pipe._slot.request() as tx_req:
+                    yield tx_req
+                    with rx_pipe._slot.request() as rx_req:
+                        yield rx_req
+                        start = env.now
+                        yield env.timeout(duration)
+                        for pipe in (tx_pipe, rx_pipe):
+                            pipe.bytes_moved += wire_bytes
+                            pipe.busy_time += env.now - start
+
+                yield env.timeout(self.wire_latency(msg.src, msg.dst))
         else:
             yield env.timeout(wire_bytes / (4 * src.nic.tx.bandwidth))
 

@@ -173,6 +173,23 @@ class PortalsEndpoint:
             name=f"ptl_put->{target_nid}",
         )
 
+    def put_inline(
+        self,
+        md: MemoryDescriptor,
+        target_nid: int,
+        pt_index: int,
+        match_bits: int,
+        hdr_data: Any = None,
+        offset: int = 0,
+    ):
+        """:meth:`put` as a plain generator for ``yield from`` callers.
+
+        Identical semantics, but without the process wrapper — callers
+        that immediately wait on the put (the RPC layer, server-directed
+        reads) save the wrapper's start/finish event-loop turns.
+        """
+        return self._put_proc(md, target_nid, pt_index, match_bits, hdr_data, offset)
+
     def _put_proc(self, md, target_nid, pt_index, match_bits, hdr_data, offset):
         size = md.length + self.HEADER_BYTES
         msg = Message(
@@ -182,7 +199,7 @@ class PortalsEndpoint:
             tag=f"ptl_put:{pt_index}:{match_bits:#x}",
             payload=md.payload,
         )
-        yield self.fabric.transfer(msg)
+        yield from self.fabric.transfer_inline(msg)
         target = self.fabric.node(target_nid)
         endpoint = _endpoint_of(target)
         me = endpoint.tables[pt_index].match(match_bits)
@@ -225,6 +242,17 @@ class PortalsEndpoint:
             name=f"ptl_get<-{target_nid}",
         )
 
+    def get_inline(
+        self,
+        md: MemoryDescriptor,
+        target_nid: int,
+        pt_index: int,
+        match_bits: int,
+        length: Optional[int] = None,
+    ):
+        """:meth:`get` as a plain generator for ``yield from`` callers."""
+        return self._get_proc(md, target_nid, pt_index, match_bits, length)
+
     def _get_proc(self, md, target_nid, pt_index, match_bits, length):
         # Request phase: a small control message carrying the descriptor.
         req = Message(
@@ -233,7 +261,7 @@ class PortalsEndpoint:
             size=self.HEADER_BYTES,
             tag=f"ptl_get_req:{pt_index}:{match_bits:#x}",
         )
-        yield self.fabric.transfer(req)
+        yield from self.fabric.transfer_inline(req)
 
         target = self.fabric.node(target_nid)
         endpoint = _endpoint_of(target)
@@ -262,7 +290,7 @@ class PortalsEndpoint:
             tag=f"ptl_get_reply:{pt_index}:{match_bits:#x}",
             payload=me.md.payload,
         )
-        yield self.fabric.transfer(reply)
+        yield from self.fabric.transfer_inline(reply)
         md.payload = me.md.payload
         if md.eq is not None:
             md.eq.try_put(

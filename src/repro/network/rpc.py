@@ -154,7 +154,7 @@ class RpcService:
             return  # died before replying; client times out
         md = MemoryDescriptor(length=reply.size, payload=reply)
         try:
-            yield self.endpoint.put(md, request.reply_node, REPLY_PORTAL, request.req_id)
+            yield from self.endpoint.put_inline(md, request.reply_node, REPLY_PORTAL, request.req_id)
         except NodeFailure:
             pass  # caller died; drop the reply
 
@@ -201,7 +201,9 @@ class RpcClient:
         )
         send_md = MemoryDescriptor(length=request_size, payload=request)
         try:
-            yield self.endpoint.put(send_md, target_node, REQUEST_PORTAL, service_key(service))
+            yield from self.endpoint.put_inline(
+                send_md, target_node, REQUEST_PORTAL, service_key(service)
+            )
         except NodeFailure:
             self.endpoint.detach(REPLY_PORTAL, me)
             raise

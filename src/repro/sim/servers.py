@@ -348,7 +348,7 @@ class SimStorageServer(_SimServerBase):
                     yield self.buffers.get(length)
                     md = MemoryDescriptor(length=length)
                     try:
-                        data = yield self.node.portals.get(
+                        data = yield from self.node.portals.get_inline(
                             md, data_node, DATA_PORTAL, data_bits
                         )
                     except BaseException:
@@ -377,7 +377,7 @@ class SimStorageServer(_SimServerBase):
                     yield from self.device.read(piece_len(data) or length)
                     md = MemoryDescriptor(length=length, payload=data)
                     # Push to the client's posted buffer (Fig. 6 reads).
-                    yield self.node.portals.put(md, data_node, DATA_PORTAL, data_bits)
+                    yield from self.node.portals.put_inline(md, data_node, DATA_PORTAL, data_bits)
                 finally:
                     self.buffers.put(length)
             return {"status": "ok", "length": length}

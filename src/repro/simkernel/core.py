@@ -33,6 +33,9 @@ class Environment:
         self._queue: list = []  # heap of (time, priority, seq, event)
         self._seq: int = 0
         self._active_process: Optional[Process] = None
+        #: Total events popped off the queue (perf / determinism probe).
+        self.events_processed: int = 0
+        self._peak_queue: int = 0
 
     # -- introspection -----------------------------------------------------
     @property
@@ -45,6 +48,11 @@ class Environment:
         """The process currently being resumed (``None`` between events)."""
         return self._active_process
 
+    @property
+    def peak_queue_len(self) -> int:
+        """Largest event-queue depth seen so far."""
+        return max(self._peak_queue, len(self._queue))
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
@@ -55,8 +63,28 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """Create an event that fires ``delay`` seconds from now.
+
+        Timeouts dominate the event mix of a simulation, so this is a
+        slots-only fast constructor: it fills the :class:`Timeout` fields
+        and pushes the queue entry directly instead of going through
+        ``Timeout.__init__`` → ``Event.__init__`` → ``_schedule``.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event.delay = delay
+        self._seq = seq = self._seq + 1
+        queue = self._queue
+        heapq.heappush(queue, (self._now + delay, NORMAL, seq, event))
+        if len(queue) > self._peak_queue:
+            self._peak_queue = len(queue)
+        return event
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Start a new simulation process from *generator*."""
@@ -73,8 +101,11 @@ class Environment:
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Insert *event* into the queue ``delay`` seconds from now."""
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq = seq = self._seq + 1
+        queue = self._queue
+        heapq.heappush(queue, (self._now + delay, priority, seq, event))
+        if len(queue) > self._peak_queue:
+            self._peak_queue = len(queue)
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -83,12 +114,10 @@ class Environment:
         re-raises un-defused event failures (crashing the simulation, which
         is what you want for an unhandled error in a background process).
         """
-        try:
-            when, _prio, _seq, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
-
-        self._now = when
+        if not self._queue:
+            raise EmptySchedule()
+        self._now, _prio, _seq, event = heapq.heappop(self._queue)
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -126,9 +155,25 @@ class Environment:
                 raise until._value
             until.callbacks.append(_stop_simulation)
 
+        # The drain loop below is `step()` inlined: the per-event method
+        # call and attribute lookups are measurable at ~10^5 events/run.
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = self.events_processed
         try:
             while True:
-                self.step()
+                if not queue:
+                    raise EmptySchedule()
+                self._now, _prio, _seq, event = heappop(queue)
+                processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise RuntimeError(f"event failed with non-exception {exc!r}")
         except StopSimulation as stop:
             event = stop.args[0]
             if event._ok:
@@ -144,6 +189,8 @@ class Environment:
                     "simulation ran out of events before the 'until' event fired"
                 ) from None
             return None
+        finally:
+            self.events_processed = processed
 
 
 def _stop_simulation(event: Event) -> None:

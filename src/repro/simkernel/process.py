@@ -107,23 +107,28 @@ class Process(Event):
                 except ValueError:  # pragma: no cover - defensive
                     pass
 
-        self.env._active_process = self
+        # Hot loop: hoist the attribute lookups that would otherwise be
+        # repeated for every yield of every process.
+        env = self.env
+        send = self._generator.send
+        throw = self._generator.throw
+        env._active_process = self
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = throw(event._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.env._schedule(self)
+                env._schedule(self)
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self)
+                env._schedule(self)
                 break
 
             if not isinstance(next_event, Event):
@@ -132,7 +137,7 @@ class Process(Event):
                 )
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self)
+                env._schedule(self)
                 break
 
             if next_event.callbacks is not None:
@@ -144,7 +149,7 @@ class Process(Event):
             # Event already processed — feed its value straight back in.
             event = next_event
 
-        self.env._active_process = None
+        env._active_process = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.is_alive else "dead"

@@ -83,6 +83,27 @@ class Resource:
         """Claim a slot; the returned event fires when granted."""
         return Request(self)
 
+    def try_acquire(self) -> Optional[Request]:
+        """Synchronously claim a slot if one is free and nobody waits.
+
+        Returns an already-granted :class:`Request` (pair with
+        :meth:`release`) without putting any event on the queue, or
+        ``None`` if the claim would have to wait.  This is the contention
+        check behind the network fast paths: an uncontended pipe can be
+        held and released without paying event-loop turns.
+        """
+        if len(self._users) >= self.capacity or self._waiting:
+            return None
+        request = Request.__new__(Request)
+        request.env = self.env
+        request.callbacks = None  # already processed: nothing waits on it
+        request._value = request
+        request._ok = True
+        request._defused = False
+        request.resource = self
+        self._users.add(request)
+        return request
+
     def release(self, request: Request) -> None:
         """Return a slot previously granted to *request*."""
         if request not in self._users:

@@ -1,0 +1,228 @@
+"""Fast-path equivalence: batched-timeout transfers match the reference loop.
+
+Every scenario runs the same workload twice — once with
+``repro.network.fabric.FASTPATH`` enabled (single merged timeout over
+uncontended pipes) and once forced onto the reference request/hold path —
+and asserts identical simulated completion times and pipe accounting.
+"""
+
+import pytest
+
+import repro.network.fabric as fabric_mod
+from repro.machine import Node, dev_cluster
+from repro.network import Fabric, MemoryDescriptor, install_portals
+from repro.simkernel import Environment
+from repro.units import KiB, MiB
+
+SIZES = (0, 2 * KiB, 64 * KiB, 1 * MiB, 8 * MiB)
+
+
+def build():
+    """Fresh env + four-node fabric (0-1 I/O, 2-3 compute)."""
+    env = Environment()
+    spec = dev_cluster()
+    fabric = Fabric(env, topology=spec.topology, hop_latency=spec.hop_latency)
+    nodes = []
+    for i in range(2):
+        node = Node(env, i, spec.io_spec)
+        fabric.attach(node)
+        nodes.append(node)
+    for i in range(2, 4):
+        node = Node(env, i, spec.compute_spec)
+        fabric.attach(node)
+        nodes.append(node)
+    return env, fabric, nodes
+
+
+def run_both(workload):
+    """Run *workload(env, fabric)* with the fast path off, then on."""
+    results = []
+    for enabled in (False, True):
+        saved = fabric_mod.FASTPATH
+        fabric_mod.FASTPATH = enabled
+        try:
+            env, fabric, nodes = build()
+            value = workload(env, fabric)
+            results.append((env, fabric, value))
+        finally:
+            fabric_mod.FASTPATH = saved
+    return results
+
+
+def assert_equivalent(results):
+    (env_ref, fab_ref, v_ref), (env_fast, fab_fast, v_fast) = results
+    assert env_fast.now == env_ref.now
+    assert v_fast == v_ref
+    assert fab_fast.counters["messages"] == fab_ref.counters["messages"]
+    assert fab_fast.counters["bytes"] == fab_ref.counters["bytes"]
+
+
+def pipe_stats(fabric, node_id):
+    nic = fabric.node(node_id).nic
+    return {
+        name: (pipe.bytes_moved, pytest.approx(pipe.busy_time))
+        for name, pipe in (("tx", nic.tx), ("rx", nic.rx),
+                           ("ctl_tx", nic.ctl_tx), ("ctl_rx", nic.ctl_rx))
+    }
+
+
+class TestUncontended:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_single_transfer_time(self, size):
+        def workload(env, fabric):
+            env.run(fabric.send(2, 0, size, tag="solo"))
+            return env.now
+
+        assert_equivalent(run_both(workload))
+
+    def test_pipe_accounting_matches(self):
+        def workload(env, fabric):
+            env.run(fabric.send(2, 0, 4 * MiB))
+            return env.now
+
+        results = run_both(workload)
+        assert_equivalent(results)
+        (_, fab_ref, _), (_, fab_fast, _) = results
+        for node_id in (0, 2):
+            assert pipe_stats(fab_fast, node_id) == pipe_stats(fab_ref, node_id)
+
+    def test_disjoint_pairs_in_parallel(self):
+        # 2->0 and 3->1 share nothing; both should finish at the
+        # single-transfer time under either path.
+        def workload(env, fabric):
+            done = []
+
+            def xfer(src, dst):
+                yield fabric.send(src, dst, 2 * MiB)
+                done.append((src, dst, env.now))
+
+            env.process(xfer(2, 0))
+            env.process(xfer(3, 1))
+            env.run()
+            return sorted(done)
+
+        assert_equivalent(run_both(workload))
+
+    def test_back_to_back_stream(self):
+        # Sequential sends re-enter the fast path each time; the pipes
+        # must be free again at each send (release-at-serialization-end).
+        def workload(env, fabric):
+            times = []
+
+            def stream():
+                for _ in range(5):
+                    yield fabric.send(2, 0, 1 * MiB)
+                    times.append(env.now)
+
+            env.process(stream())
+            env.run()
+            return times
+
+        assert_equivalent(run_both(workload))
+
+
+class TestContended:
+    def test_many_to_one_rx_contention(self):
+        # Three senders target node 0: its rx pipe serializes them.  The
+        # fast path must queue identically once try_acquire fails.
+        def workload(env, fabric):
+            done = []
+
+            def xfer(src, size):
+                yield fabric.send(src, 0, size)
+                done.append((src, env.now))
+
+            env.process(xfer(1, 4 * MiB))
+            env.process(xfer(2, 4 * MiB))
+            env.process(xfer(3, 4 * MiB))
+            env.run()
+            return sorted(done)
+
+        assert_equivalent(run_both(workload))
+
+    def test_one_to_many_tx_contention(self):
+        def workload(env, fabric):
+            done = []
+
+            def xfer(dst):
+                yield fabric.send(2, dst, 4 * MiB)
+                done.append((dst, env.now))
+
+            for dst in (0, 1, 3):
+                env.process(xfer(dst))
+            env.run()
+            return sorted(done)
+
+        assert_equivalent(run_both(workload))
+
+    def test_staggered_arrivals_mix_paths(self):
+        # First transfer takes the fast path; the second arrives mid-flight
+        # (queued path); the third arrives after both drain (fast again).
+        def workload(env, fabric):
+            done = []
+
+            def xfer(delay, tag):
+                yield env.timeout(delay)
+                yield fabric.send(2, 0, 4 * MiB, tag=tag)
+                done.append((tag, env.now))
+
+            env.process(xfer(0.0, "a"))
+            env.process(xfer(1e-4, "b"))
+            env.process(xfer(1.0, "c"))
+            env.run()
+            return sorted(done)
+
+        assert_equivalent(run_both(workload))
+
+    def test_control_lane_unaffected_by_bulk(self):
+        # Small messages ride the control pipes and must not queue behind
+        # a bulk transfer under either path.
+        def workload(env, fabric):
+            done = []
+
+            def bulk():
+                yield fabric.send(2, 0, 32 * MiB, tag="bulk")
+                done.append(("bulk", env.now))
+
+            def ctl():
+                yield fabric.send(2, 0, 256, tag="ctl")
+                done.append(("ctl", env.now))
+
+            env.process(bulk())
+            env.process(ctl())
+            env.run()
+            return sorted(done)
+
+        results = run_both(workload)
+        assert_equivalent(results)
+        (_, _, order), _ = results
+        assert order[1][0] == "ctl" and order[1][1] < order[0][1]
+
+
+class TestPortalsEquivalence:
+    @pytest.mark.parametrize("size", (4 * KiB, 1 * MiB))
+    def test_put_completion_time(self, size):
+        def workload(env, fabric):
+            nodes = [fabric.node(i) for i in (0, 2)]
+            server = install_portals(env, fabric, nodes[0])
+            client = install_portals(env, fabric, nodes[1])
+            eq = server.new_eq()
+            server.attach(5, 0xC0, MemoryDescriptor(length=size, eq=eq))
+            md = MemoryDescriptor(length=size, payload=b"x")
+            env.run(client.put(md, 0, 5, 0xC0))
+            return env.now
+
+        assert_equivalent(run_both(workload))
+
+    @pytest.mark.parametrize("size", (4 * KiB, 1 * MiB))
+    def test_get_completion_time(self, size):
+        def workload(env, fabric):
+            nodes = [fabric.node(i) for i in (0, 2)]
+            server = install_portals(env, fabric, nodes[0])
+            client = install_portals(env, fabric, nodes[1])
+            client.attach(9, 0x11, MemoryDescriptor(length=size, payload=b"d"))
+            md = MemoryDescriptor(length=size)
+            env.run(server.get(md, 2, 9, 0x11))
+            return env.now
+
+        assert_equivalent(run_both(workload))

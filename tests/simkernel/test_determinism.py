@@ -1,0 +1,93 @@
+"""Determinism regression: the same seed must replay the same simulation.
+
+The parallel sweep executor leans on this — trials are fanned out to
+worker processes and merged by key, which is only sound if a trial's
+result is a pure function of its spec (impl, sizes, seed).  These tests
+pin that property at two levels: the raw kernel (randomized event soup)
+and a full benchmark trial.
+"""
+
+import random
+
+from repro.bench.harness import run_checkpoint_trial, run_create_trial
+from repro.simkernel import Environment
+from repro.units import MiB
+
+
+def _random_soup(seed):
+    """A randomized workload: interleaved timeouts, processes, resources.
+
+    Returns the full resume trace plus kernel stats.
+    """
+    rng = random.Random(seed)
+    env = Environment()
+    trace = []
+
+    from repro.simkernel import Resource
+
+    resource = Resource(env, capacity=2)
+
+    def worker(wid):
+        for step in range(rng.randrange(3, 8)):
+            yield env.timeout(rng.random())
+            trace.append(("tick", wid, step, env.now))
+            if rng.random() < 0.5:
+                with resource.request() as req:
+                    yield req
+                    yield env.timeout(rng.random() * 0.1)
+                    trace.append(("held", wid, step, env.now))
+
+    for wid in range(10):
+        env.process(worker(wid))
+    env.run()
+    return trace, env.now, env.events_processed, env.peak_queue_len
+
+
+class TestKernelReplay:
+    def test_same_seed_same_trace(self):
+        a = _random_soup(seed=42)
+        b = _random_soup(seed=42)
+        assert a == b  # full trace, final clock, event count, peak queue
+
+    def test_different_seed_different_trace(self):
+        a = _random_soup(seed=42)
+        b = _random_soup(seed=43)
+        assert a[0] != b[0]
+
+    def test_events_processed_counts_every_step(self):
+        env = Environment()
+
+        def proc():
+            for _ in range(5):
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        # 2 process lifecycle events + 5 timeouts.
+        assert env.events_processed == 7
+        assert env.peak_queue_len >= 1
+
+
+class TestTrialReplay:
+    def test_checkpoint_trial_replays_bit_identical(self):
+        kwargs = dict(impl="lwfs", n_clients=4, n_servers=2,
+                      state_bytes=8 * MiB, seed=11)
+        a = run_checkpoint_trial(**kwargs)
+        b = run_checkpoint_trial(**kwargs)
+        assert a.throughput_mb_s == b.throughput_mb_s
+        assert a.max_elapsed == b.max_elapsed
+        assert a.extra["events_processed"] == b.extra["events_processed"]
+        assert a.extra["peak_event_queue"] == b.extra["peak_event_queue"]
+
+    def test_create_trial_replays_bit_identical(self):
+        kwargs = dict(impl="lwfs", n_clients=4, n_servers=2,
+                      creates_per_client=8, seed=11)
+        a = run_create_trial(**kwargs)
+        b = run_create_trial(**kwargs)
+        assert a.extra["creates_per_s"] == b.extra["creates_per_s"]
+        assert a.extra["events_processed"] == b.extra["events_processed"]
+
+    def test_seed_changes_the_trial(self):
+        a = run_checkpoint_trial("lwfs", 4, 2, state_bytes=8 * MiB, seed=1)
+        b = run_checkpoint_trial("lwfs", 4, 2, state_bytes=8 * MiB, seed=2)
+        assert a.throughput_mb_s != b.throughput_mb_s
