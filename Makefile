@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick
+.PHONY: test bench bench-quick trace-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,3 +14,13 @@ bench:
 # asserted bit-identical.  Per-trial stats land in BENCH_sweep.json.
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m repro.bench.executor --jobs 2 --check-determinism
+
+# One traced checkpoint trial: phase report, timeline, and Chrome trace
+# JSON (results/trace_quick.json), schema-validated.
+trace-quick:
+	$(PYTHON) -m repro trace --clients 8 --servers 4 --state-mb 8 \
+		--out results/trace_quick.json
+	$(PYTHON) -c "import json, sys; sys.path.insert(0, 'src'); \
+		from repro.trace import validate_chrome_trace; \
+		errors = validate_chrome_trace(json.load(open('results/trace_quick.json'))); \
+		sys.exit('\n'.join(errors) if errors else 0)"

@@ -15,6 +15,7 @@ from repro.bench import save_json
 from repro.machine.presets import dev_cluster
 from repro.sim.cluster import SimCluster
 from repro.sim.config import SimConfig
+from repro.trace import kernel_stats
 from repro.units import MiB
 
 from conftest import run_once
@@ -43,14 +44,15 @@ def _run_uncontended():
     env.run()
     wall = time.perf_counter() - start
     messages = fabric.counters["messages"]
+    kernel = kernel_stats(env)
     return {
         "wall_s": wall,
-        "events": env.events_processed,
-        "events_per_s": env.events_processed / wall,
+        "events": kernel["events_processed"],
+        "events_per_s": kernel["events_processed"] / wall,
         "messages": messages,
         "messages_per_s": messages / wall,
-        "peak_event_queue": env.peak_queue_len,
-        "sim_seconds": env.now,
+        "peak_event_queue": kernel["peak_event_queue"],
+        "sim_seconds": kernel["sim_seconds"],
     }
 
 

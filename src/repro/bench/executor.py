@@ -82,6 +82,12 @@ class TrialOutcome:
     wall_clock_s: float
     events_processed: int
     peak_event_queue: int
+    sim_seconds: float = 0.0
+    #: Completed span list when the spec carried ``trace=True`` (spans
+    #: pickle cleanly, so traced trials survive the process pool).
+    trace: Optional[list] = None
+    #: Compact per-kind summary of the trace, sized for BENCH_sweep.json.
+    trace_summary: Optional[Dict[str, Any]] = None
 
 
 def checkpoint_spec(impl: str, n_clients: int, n_servers: int, seed: int, **params) -> TrialSpec:
@@ -128,6 +134,11 @@ def _run_trial(spec: TrialSpec) -> TrialOutcome:
     else:
         raise ValueError(f"unknown trial kind {spec.kind!r}")
     wall = time.perf_counter() - start
+    trace_summary = None
+    if result.trace is not None:
+        from ..trace import summarize
+
+        trace_summary = summarize(result.trace)
     return TrialOutcome(
         spec=spec,
         value=value,
@@ -135,6 +146,9 @@ def _run_trial(spec: TrialSpec) -> TrialOutcome:
         wall_clock_s=wall,
         events_processed=int(result.extra.get("events_processed", 0)),
         peak_event_queue=int(result.extra.get("peak_event_queue", 0)),
+        sim_seconds=float(result.extra.get("sim_seconds", 0.0)),
+        trace=result.trace,
+        trace_summary=trace_summary,
     )
 
 
@@ -210,6 +224,26 @@ def run_sweep(
     return outcomes
 
 
+def _trial_record(o: TrialOutcome) -> Dict[str, Any]:
+    """One per-trial JSON row: identity, figure of merit, kernel stats."""
+    row: Dict[str, Any] = {
+        "kind": o.spec.kind,
+        "impl": o.spec.impl,
+        "n_clients": o.spec.n_clients,
+        "n_servers": o.spec.n_servers,
+        "seed": o.spec.seed,
+        "value": o.value,
+        "unit": o.unit,
+        "wall_clock_s": round(o.wall_clock_s, 6),
+        "events_processed": o.events_processed,
+        "peak_event_queue": o.peak_event_queue,
+        "sim_seconds": round(o.sim_seconds, 9),
+    }
+    if o.trace_summary is not None:
+        row["trace_summary"] = o.trace_summary
+    return row
+
+
 def _record_sweep(label: str, jobs: int, wall: float, outcomes: List[TrialOutcome]) -> None:
     path = sweep_json_path()
     doc: Dict[str, Any] = {"schema": SWEEP_SCHEMA, "sweeps": []}
@@ -232,21 +266,7 @@ def _record_sweep(label: str, jobs: int, wall: float, outcomes: List[TrialOutcom
             "serial_trial_s": round(serial_s, 6),
             "speedup": round(serial_s / wall, 3) if wall > 0 else None,
             "events_processed": sum(o.events_processed for o in outcomes),
-            "per_trial": [
-                {
-                    "kind": o.spec.kind,
-                    "impl": o.spec.impl,
-                    "n_clients": o.spec.n_clients,
-                    "n_servers": o.spec.n_servers,
-                    "seed": o.spec.seed,
-                    "value": o.value,
-                    "unit": o.unit,
-                    "wall_clock_s": round(o.wall_clock_s, 6),
-                    "events_processed": o.events_processed,
-                    "peak_event_queue": o.peak_event_queue,
-                }
-                for o in outcomes
-            ],
+            "per_trial": [_trial_record(o) for o in outcomes],
         }
     )
     doc["sweeps"] = doc["sweeps"][-SWEEP_HISTORY:]

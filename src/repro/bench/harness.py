@@ -57,6 +57,10 @@ class TrialResult:
     throughput_mb_s: float
     create_max_elapsed: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Completed spans when the trial ran with ``trace=True`` (else None).
+    #: A plain span list — not the Tracer — so results cross the sweep
+    #: executor's process-pool boundary.
+    trace: Optional[list] = None
 
 
 @dataclass
@@ -114,12 +118,20 @@ def run_checkpoint_trial(
     seed: int = 0,
     spec: Optional[MachineSpec] = None,
     config: Optional[SimConfig] = None,
+    trace: bool = False,
     **deploy_kwargs,
 ) -> TrialResult:
-    """One full checkpoint (setup once + one dump), Figure 9 workload."""
+    """One full checkpoint (setup once + one dump), Figure 9 workload.
+
+    With ``trace=True`` a :class:`~repro.trace.Tracer` is installed on the
+    environment before the run and the completed spans land on
+    ``TrialResult.trace``.  Tracing never schedules events, so the
+    simulated timings are bit-identical either way.
+    """
     cluster, deployment, checkpointer, app = _build(
         impl, n_clients, n_servers, seed, spec, config, **deploy_kwargs
     )
+    tracer = _maybe_trace(cluster, trace)
 
     def main(ctx):
         yield from checkpointer.setup(ctx)
@@ -142,6 +154,7 @@ def run_checkpoint_trial(
         throughput_mb_s=(n_clients * state_bytes / MiB) / max_elapsed,
         create_max_elapsed=max(r.create_elapsed for r in results),
         extra=_kernel_stats(cluster),
+        trace=tracer.spans if tracer is not None else None,
     )
 
 
@@ -153,12 +166,14 @@ def run_create_trial(
     seed: int = 0,
     spec: Optional[MachineSpec] = None,
     config: Optional[SimConfig] = None,
+    trace: bool = False,
     **deploy_kwargs,
 ) -> TrialResult:
     """Create-only phase (Figure 10 workload): empty objects/files."""
     cluster, deployment, checkpointer, app = _build(
         impl, n_clients, n_servers, seed, spec, config, **deploy_kwargs
     )
+    tracer = _maybe_trace(cluster, trace)
 
     def main(ctx):
         yield from checkpointer.setup(ctx)
@@ -180,16 +195,23 @@ def run_create_trial(
         mean_elapsed=sum(r.elapsed for r in results) / len(results),
         throughput_mb_s=0.0,
         extra=extra,
+        trace=tracer.spans if tracer is not None else None,
     )
+
+
+def _maybe_trace(cluster, trace: bool):
+    if not trace:
+        return None
+    from ..trace import Tracer
+
+    return Tracer.install(cluster.env)
 
 
 def _kernel_stats(cluster) -> Dict[str, float]:
     """Deterministic event-loop stats for one finished trial."""
-    env = cluster.env
-    return {
-        "events_processed": float(env.events_processed),
-        "peak_event_queue": float(env.peak_queue_len),
-    }
+    from ..trace.stats import kernel_stats
+
+    return {k: float(v) for k, v in kernel_stats(cluster.env).items()}
 
 
 def _aggregate(impl, n_clients, n_servers, values: List[float], unit: str) -> SweepPoint:

@@ -5,6 +5,8 @@ Runs the paper's experiments from a shell without writing any code:
 * ``table1`` / ``table2``          — regenerate the tables,
 * ``checkpoint`` / ``create``      — a single Fig. 9 / Fig. 10 point,
 * ``fig9`` / ``fig10``             — a full panel, charted in ASCII,
+* ``trace``                        — one traced trial: phase report,
+  timeline, and Chrome trace-event JSON for ``chrome://tracing``,
 * ``petaflop``                     — the §4 closing extrapolation,
 * ``examples``                     — list the runnable example scripts.
 """
@@ -49,6 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
     point.add_argument("--servers", type=int, default=8)
     point.add_argument("--state-mb", type=int, default=32)
     point.add_argument("--seed", type=int, default=1)
+    point.add_argument("--trace", default=None, metavar="PATH",
+                       help="record a span trace and write Chrome trace JSON here")
 
     create = sub.add_parser("create", help="one Fig. 10 point (creates/s)")
     create.add_argument("--impl", default="lwfs", choices=["lwfs", "lustre-fpp"])
@@ -77,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig9.add_argument("--trials", type=int, default=1)
     fig9.add_argument("--clients", type=int, nargs="+", default=list(FIG9_CLIENTS))
     fig9.add_argument("--servers", type=int, nargs="+", default=list(FIG9_SERVERS))
+    fig9.add_argument("--trace", default=None, metavar="PATH",
+                      help="additionally run one traced trial at the largest "
+                           "(clients, servers) point and write Chrome trace JSON here")
     add_jobs_flag(fig9)
 
     fig10 = sub.add_parser("fig10", help="one Fig. 10 panel, charted (log y)")
@@ -85,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
     fig10.add_argument("--clients", type=int, nargs="+", default=list(FIG9_CLIENTS))
     fig10.add_argument("--servers", type=int, nargs="+", default=list(FIG9_SERVERS))
     add_jobs_flag(fig10)
+
+    trace = sub.add_parser(
+        "trace", help="one traced checkpoint trial: phase report + timeline + JSON"
+    )
+    trace.add_argument("--impl", default="lwfs",
+                       choices=["lwfs", "lustre-fpp", "lustre-shared"])
+    trace.add_argument("--clients", type=int, default=8)
+    trace.add_argument("--servers", type=int, default=4)
+    trace.add_argument("--state-mb", type=int, default=8)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="write Chrome trace-event JSON here (chrome://tracing)")
+    trace.add_argument("--timeline-lines", type=int, default=40,
+                       help="max lines of the text timeline to print (0 = skip)")
 
     sub.add_parser("petaflop", help="§4 extrapolation to a petaflop machine")
     sub.add_parser("examples", help="list the runnable examples")
@@ -95,6 +116,23 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--out", default=None,
                          help="also write the charts to this file")
     return parser
+
+
+def _export_trace(result, path: str) -> None:
+    """Write a traced trial's Chrome JSON and print the phase report."""
+    from .trace import PhaseReport, summarize, write_chrome_trace
+
+    meta = {
+        "impl": result.impl,
+        "n_clients": result.n_clients,
+        "n_servers": result.n_servers,
+        "state_bytes": result.state_bytes,
+        **{k: v for k, v in result.extra.items()},
+    }
+    write_chrome_trace(result.trace, path, meta=meta)
+    info = summarize(result.trace)
+    print(f"\ntrace: {info['spans']} spans -> {path} (open in chrome://tracing)")
+    print(PhaseReport.from_trace(result.trace).format())
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -127,6 +165,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_checkpoint_trial(
             args.impl, args.clients, args.servers,
             state_bytes=args.state_mb * MiB, seed=args.seed,
+            trace=args.trace is not None,
         )
         print(
             f"{args.impl}: {args.clients} clients x {args.state_mb} MB over "
@@ -134,6 +173,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"(max rank time {result.max_elapsed:.3f} s, "
             f"create phase {result.create_max_elapsed * 1e3:.2f} ms)"
         )
+        if args.trace is not None:
+            _export_trace(result, args.trace)
 
     elif args.command == "create":
         result = run_create_trial(
@@ -157,6 +198,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_series_table(f"Figure 9 — {args.impl} checkpoint throughput", points))
         print()
         print(chart_sweep(points, f"Figure 9 ({args.impl})"))
+        if args.trace is not None:
+            result = run_checkpoint_trial(
+                args.impl, max(args.clients), max(args.servers),
+                state_bytes=args.state_mb * MiB, seed=1, trace=True,
+            )
+            _export_trace(result, args.trace)
 
     elif args.command == "fig10":
         points = fig10_panel(
@@ -169,6 +216,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_series_table(f"Figure 10 — {args.impl} creation throughput", points))
         print()
         print(chart_sweep(points, f"Figure 10 ({args.impl})", log_y=True))
+
+    elif args.command == "trace":
+        from .trace import format_timeline
+
+        result = run_checkpoint_trial(
+            args.impl, args.clients, args.servers,
+            state_bytes=args.state_mb * MiB, seed=args.seed, trace=True,
+        )
+        print(
+            f"{args.impl}: {args.clients} clients x {args.state_mb} MB over "
+            f"{args.servers} servers -> {result.throughput_mb_s:.1f} MB/s"
+        )
+        if args.out is not None:
+            _export_trace(result, args.out)
+        else:
+            from .trace import PhaseReport, summarize
+
+            info = summarize(result.trace)
+            print(f"\ntrace: {info['spans']} spans (use --out to write Chrome JSON)")
+            print(PhaseReport.from_trace(result.trace).format())
+        if args.timeline_lines > 0:
+            print()
+            print(format_timeline(result.trace, max_lines=args.timeline_lines))
 
     elif args.command == "petaflop":
         summary = petaflop_extrapolation().summary()

@@ -36,6 +36,21 @@ from .datamap import DistributionPolicy, RoundRobin
 __all__ = ["CheckpointError", "CheckpointResult", "LWFSCheckpointer", "PFSCheckpointer"]
 
 
+def _phase_begin(ctx: RankContext, name: str):
+    """Open a per-rank checkpoint phase span; ``None`` when tracing is off."""
+    tracer = ctx.env.tracer
+    if tracer is None:
+        return None
+    return tracer.push(
+        f"phase:{name}", kind="phase", node=ctx.node.node_id, op=name, rank=ctx.rank
+    )
+
+
+def _phase_end(ctx: RankContext, token) -> None:
+    if token is not None:
+        ctx.env.tracer.pop(*token)
+
+
 class CheckpointError(RuntimeError):
     """The collective checkpoint failed (on some rank) and was rolled back.
 
@@ -120,6 +135,7 @@ class LWFSCheckpointer:
 
         start = ctx.env.now
         # line 1: BEGINTXN — rank 0 allocates the id, broadcast to all.
+        phase = _phase_begin(ctx, "create")
         txnid = None
         if self.transactional:
             if ctx.rank == 0:
@@ -139,11 +155,27 @@ class LWFSCheckpointer:
             create_start = ctx.env.now
             oid = yield from client.create_object(self.cap, sid, txnid=txnid)
             create_elapsed = ctx.env.now - create_start
-            yield from client.write(self.cap, oid, state, txnid=txnid)
-            yield from client.sync(sid)
         except Exception as exc:  # noqa: BLE001 - reported collectively
             error = f"{type(exc).__name__}: {exc}"
+        _phase_end(ctx, phase)
 
+        if error is None:
+            phase = _phase_begin(ctx, "write")
+            try:
+                yield from client.write(self.cap, oid, state, txnid=txnid)
+            except Exception as exc:  # noqa: BLE001 - reported collectively
+                error = f"{type(exc).__name__}: {exc}"
+            _phase_end(ctx, phase)
+
+        if error is None:
+            phase = _phase_begin(ctx, "sync")
+            try:
+                yield from client.sync(sid)
+            except Exception as exc:  # noqa: BLE001 - reported collectively
+                error = f"{type(exc).__name__}: {exc}"
+            _phase_end(ctx, phase)
+
+        phase = _phase_begin(ctx, "close")
         # lines 4-7: rank 0 gathers per-rank metadata.
         meta = {
             "rank": ctx.rank,
@@ -207,6 +239,7 @@ class LWFSCheckpointer:
             outcome_msg = None
         outcome_msg = yield from ctx.bcast(outcome_msg, nbytes=64)
         yield from ctx.barrier()
+        _phase_end(ctx, phase)
         if outcome_msg != "ok" or error is not None:
             raise CheckpointError(
                 f"checkpoint {path!r} failed: {outcome_msg}"
@@ -230,10 +263,12 @@ class LWFSCheckpointer:
         client = self.client(ctx)
         sid = self.placement.place(ctx.rank, self.deployment.n_servers)
         start = ctx.env.now
+        phase = _phase_begin(ctx, "create")
         oids = []
         for _ in range(count):
             oid = yield from client.create_object(self.cap, sid)
             oids.append(oid)
+        _phase_end(ctx, phase)
         return CheckpointResult(
             rank=ctx.rank, elapsed=ctx.env.now - start, bytes_moved=0, oid=oids[-1]
         )
@@ -330,13 +365,11 @@ class PFSCheckpointer:
         nbytes = piece_len(state)
         start = ctx.env.now
 
+        phase = _phase_begin(ctx, "create")
         if self.mode == "file-per-process":
             create_start = ctx.env.now
             fh = yield from client.create(f"{path}.rank{ctx.rank}", stripe_count=1)
             create_elapsed = ctx.env.now - create_start
-            yield from client.write(fh, 0, state)
-            yield from client.fsync(fh)
-            yield from client.close(fh)
         else:
             create_start = ctx.env.now
             if ctx.rank == 0:
@@ -345,11 +378,21 @@ class PFSCheckpointer:
             if ctx.rank != 0:
                 fh = yield from client.open(path, OpenFlags.WRONLY)
             create_elapsed = ctx.env.now - create_start
-            yield from client.write(fh, ctx.rank * nbytes, state)
-            yield from client.fsync(fh)
-            yield from client.close(fh)
+        _phase_end(ctx, phase)
 
+        offset = 0 if self.mode == "file-per-process" else ctx.rank * nbytes
+        phase = _phase_begin(ctx, "write")
+        yield from client.write(fh, offset, state)
+        _phase_end(ctx, phase)
+
+        phase = _phase_begin(ctx, "sync")
+        yield from client.fsync(fh)
+        _phase_end(ctx, phase)
+
+        phase = _phase_begin(ctx, "close")
+        yield from client.close(fh)
         yield from ctx.barrier()
+        _phase_end(ctx, phase)
         return CheckpointResult(
             rank=ctx.rank,
             elapsed=ctx.env.now - start,
@@ -363,11 +406,13 @@ class PFSCheckpointer:
         client = self.client(ctx)
         self._seq += 1
         start = ctx.env.now
+        phase = _phase_begin(ctx, "create")
         for i in range(count):
             fh = yield from client.create(
                 f"/ckpt/pfs/create/{self._seq}/r{ctx.rank}.{i}", stripe_count=1
             )
             yield from client.close(fh)
+        _phase_end(ctx, phase)
         return CheckpointResult(rank=ctx.rank, elapsed=ctx.env.now - start, bytes_moved=0)
 
     def restart(self, ctx: RankContext, path: str):

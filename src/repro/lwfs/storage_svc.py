@@ -86,6 +86,20 @@ class VerifyCache:
         self.invalidations += removed
         return removed
 
+    @property
+    def hit_rate(self) -> float:
+        """Hit ratio over all lookups (0.0 when the cache saw none)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -129,6 +129,11 @@ class Fabric:
         dst = self.node(msg.dst)
         src.check_alive()
 
+        # The span covers the whole transfer and sits OUTSIDE the fastpath
+        # branch, so the recorded trace is identical in both modes.
+        tracer = env.tracer
+        t0 = env._now if tracer is not None else 0.0
+
         wire_bytes = max(int(msg.size), self.MIN_WIRE_BYTES)
 
         # Sender host overhead (header build, matching; copies if no RDMA).
@@ -193,6 +198,18 @@ class Fabric:
 
         self.counters.incr("messages")
         self.counters.incr("bytes", wire_bytes)
+        if tracer is not None:
+            # Strip hex match-bits from portals tags: those come from
+            # process-global counters, and keeping them would make traces
+            # differ between otherwise-identical runs.
+            op = msg.tag
+            cut = op.find(":0x")
+            if cut >= 0:
+                op = op[:cut]
+            tracer.record(
+                f"xfer:{op}" if op else "xfer", start=t0, kind="xfer",
+                node=msg.src, op=op or None, dst=msg.dst, bytes=wire_bytes,
+            )
         return msg
 
     # -- convenience ----------------------------------------------------------

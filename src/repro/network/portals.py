@@ -191,6 +191,26 @@ class PortalsEndpoint:
         return self._put_proc(md, target_nid, pt_index, match_bits, hdr_data, offset)
 
     def _put_proc(self, md, target_nid, pt_index, match_bits, hdr_data, offset):
+        # Not itself a generator: picks the worker generator so the
+        # tracing-disabled path keeps its exact pre-trace frame count.
+        if self.env.tracer is None:
+            return self._put_inner(md, target_nid, pt_index, match_bits, hdr_data, offset)
+        return self._put_traced(md, target_nid, pt_index, match_bits, hdr_data, offset)
+
+    def _put_traced(self, md, target_nid, pt_index, match_bits, hdr_data, offset):
+        tracer = self.env.tracer
+        span, prev = tracer.push(
+            "ptl_put", kind="bulk", node=self.node.node_id, op="put",
+            dst=target_nid, bytes=md.length,
+        )
+        try:
+            return (yield from self._put_inner(
+                md, target_nid, pt_index, match_bits, hdr_data, offset
+            ))
+        finally:
+            tracer.pop(span, prev)
+
+    def _put_inner(self, md, target_nid, pt_index, match_bits, hdr_data, offset):
         size = md.length + self.HEADER_BYTES
         msg = Message(
             src=self.node.node_id,
@@ -254,6 +274,23 @@ class PortalsEndpoint:
         return self._get_proc(md, target_nid, pt_index, match_bits, length)
 
     def _get_proc(self, md, target_nid, pt_index, match_bits, length):
+        # Dispatcher, mirroring _put_proc.
+        if self.env.tracer is None:
+            return self._get_inner(md, target_nid, pt_index, match_bits, length)
+        return self._get_traced(md, target_nid, pt_index, match_bits, length)
+
+    def _get_traced(self, md, target_nid, pt_index, match_bits, length):
+        tracer = self.env.tracer
+        span, prev = tracer.push(
+            "ptl_get", kind="bulk", node=self.node.node_id, op="get",
+            src=target_nid,
+        )
+        try:
+            return (yield from self._get_inner(md, target_nid, pt_index, match_bits, length))
+        finally:
+            tracer.pop(span, prev)
+
+    def _get_inner(self, md, target_nid, pt_index, match_bits, length):
         # Request phase: a small control message carrying the descriptor.
         req = Message(
             src=self.node.node_id,

@@ -49,6 +49,9 @@ class RpcRequest:
     reply_node: int
     req_id: int
     size: int = REQUEST_BYTES
+    #: Caller's trace span id; carries span context across the simulated
+    #: wire so the server handler links into the client's span tree.
+    trace_parent: Optional[int] = None
 
 
 @dataclass
@@ -132,6 +135,28 @@ class RpcService:
             )
 
     def _handle(self, request: RpcRequest):
+        # Not itself a generator: picks the handler generator so the
+        # tracing-disabled path keeps its exact pre-trace frame count.
+        tracer = self.env.tracer
+        if tracer is None:
+            return self._handle_inner(request)
+        return self._handle_traced(tracer, request)
+
+    def _handle_traced(self, tracer, request: RpcRequest):
+        # Adopt the caller's span id (carried in the request) as parent and
+        # make this the handler process's ambient span, so disk,
+        # verify-cache, and bulk-pull spans all nest under it.
+        span, prev = tracer.push(
+            f"serve:{self.name}.{request.op}", kind="server",
+            node=self.node.node_id, service=self.name, op=request.op,
+            parent=request.trace_parent,
+        )
+        try:
+            yield from self._handle_inner(request)
+        finally:
+            tracer.pop(span, prev)
+
+    def _handle_inner(self, request: RpcRequest):
         ctx = RpcContext(env=self.env, service=self, request=request, initiator=request.reply_node)
         reply: RpcReply
         try:
@@ -187,6 +212,43 @@ class RpcClient:
         reply arrives within *timeout*, and :class:`NodeFailure` if the
         target is already dead.
         """
+        # Returns (not yields) the generator so the tracing-disabled path
+        # keeps its exact pre-trace frame count.
+        if self.env.tracer is None:
+            return self._call_inner(target_node, service, op, timeout, request_size, None, args)
+        return self._call_traced(target_node, service, op, timeout, request_size, args)
+
+    def _call_traced(
+        self,
+        target_node: int,
+        service: str,
+        op: str,
+        timeout: Optional[float],
+        request_size: int,
+        args: Dict[str, Any],
+    ) -> Generator:
+        tracer = self.env.tracer
+        span, prev = tracer.push(
+            f"rpc:{service}.{op}", kind="rpc",
+            node=self.node.node_id, service=service, op=op, target=target_node,
+        )
+        try:
+            return (yield from self._call_inner(
+                target_node, service, op, timeout, request_size, span.span_id, args
+            ))
+        finally:
+            tracer.pop(span, prev)
+
+    def _call_inner(
+        self,
+        target_node: int,
+        service: str,
+        op: str,
+        timeout: Optional[float],
+        request_size: int,
+        trace_parent: Optional[int],
+        args: Dict[str, Any],
+    ) -> Generator:
         req_id = next(self._req_ids)
         reply_q: Store = self.endpoint.new_eq()
         reply_md = MemoryDescriptor(length=REPLY_BYTES, eq=reply_q)
@@ -198,6 +260,7 @@ class RpcClient:
             reply_node=self.node.node_id,
             req_id=req_id,
             size=request_size,
+            trace_parent=trace_parent,
         )
         send_md = MemoryDescriptor(length=request_size, payload=request)
         try:

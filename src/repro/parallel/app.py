@@ -47,17 +47,45 @@ class RankContext:
         return self.comm.recv(self.rank, src, tag=tag)
 
     # -- collectives --------------------------------------------------------------
+    def _maybe_traced(self, op: str, gen):
+        # Wrap a collective in a "coll" span so waits on peers show up in
+        # the trace; returns *gen* untouched when tracing is off.
+        if self.env.tracer is None:
+            return gen
+        return self._traced_coll(op, gen)
+
+    def _traced_coll(self, op: str, gen):
+        tracer = self.env.tracer
+        span, prev = tracer.push(
+            f"coll:{op}", kind="coll", node=self.node.node_id, op=op, rank=self.rank
+        )
+        try:
+            return (yield from gen)
+        finally:
+            tracer.pop(span, prev)
+
     def barrier(self):
-        return barrier(self.comm, self.rank, tag=self._tag("bar"))
+        return self._maybe_traced(
+            "barrier", barrier(self.comm, self.rank, tag=self._tag("bar"))
+        )
 
     def bcast(self, value: Any = None, root: int = 0, nbytes: int = 256):
-        return bcast(self.comm, self.rank, value, root=root, tag=self._tag("bc"), nbytes=nbytes)
+        return self._maybe_traced(
+            "bcast",
+            bcast(self.comm, self.rank, value, root=root, tag=self._tag("bc"), nbytes=nbytes),
+        )
 
     def gather(self, value: Any, root: int = 0, nbytes: int = 256):
-        return gather(self.comm, self.rank, value, root=root, tag=self._tag("ga"), nbytes=nbytes)
+        return self._maybe_traced(
+            "gather",
+            gather(self.comm, self.rank, value, root=root, tag=self._tag("ga"), nbytes=nbytes),
+        )
 
     def scatter(self, values: Optional[List[Any]] = None, root: int = 0, nbytes: int = 256):
-        return scatter(self.comm, self.rank, values, root=root, tag=self._tag("sc"), nbytes=nbytes)
+        return self._maybe_traced(
+            "scatter",
+            scatter(self.comm, self.rank, values, root=root, tag=self._tag("sc"), nbytes=nbytes),
+        )
 
 
 class ParallelApp:

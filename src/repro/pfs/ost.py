@@ -90,9 +90,17 @@ class SimOST(_SimServerBase):
             if len(writers) == 1 and (owner is None or owner == client_id):
                 # Sole-writer fast path: identical to the LWFS discipline.
                 self._owners[key] = client_id
+                tracer = self.env.tracer
+                t_wait = self.env._now if tracer is not None else 0.0
                 with self.threads.request() as thread:
                     yield thread
                     yield self.buffers.get(length)
+                    if tracer is not None and self.env._now > t_wait:
+                        tracer.record(
+                            "wait:threads", start=t_wait, kind="wait",
+                            node=self.node_id, service=self.service_name,
+                            resource="threads",
+                        )
                     md = MemoryDescriptor(length=length)
                     try:
                         data = yield self.node.portals.get(md, data_node, DATA_PORTAL, data_bits)
@@ -106,10 +114,20 @@ class SimOST(_SimServerBase):
 
             # Contended path: extent-lock ownership must change hands.
             self.lock_switches += 1
+            tracer = self.env.tracer
+            t_wait = self.env._now if tracer is not None else 0.0
             with self._object_lock(key).request() as obj_lock:
                 yield obj_lock
                 # Revocation callback to the previous owner + their flush.
                 yield self.env.timeout(REVOKE_LATENCY)
+                if tracer is not None:
+                    # Queueing for the extent lock plus the revocation round
+                    # trip — the serialization the shared-file figure shows.
+                    tracer.record(
+                        "wait:extent-lock", start=t_wait, kind="wait",
+                        node=self.node_id, service=self.service_name,
+                        resource="extent-lock",
+                    )
                 yield from self.device.sync()
                 self._owners[key] = client_id
                 yield self.buffers.get(length)

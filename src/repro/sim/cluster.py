@@ -107,6 +107,7 @@ class SimCluster:
             name=name,
             rng=self.rng,
             jitter=self.config.cost_jitter,
+            node_id=node.node_id,
         )
 
     def jitter(self, stream: str, mean: float) -> float:

@@ -115,5 +115,11 @@ class LWFSDeployment:
     def cache_stats(self) -> Dict[str, int]:
         hits = sum(s.svc.cache.hits for s in self.storage)
         misses = sum(s.svc.cache.misses for s in self.storage)
+        invalidations = sum(s.svc.cache.invalidations for s in self.storage)
         verifies = sum(s.verify_rpcs for s in self.storage)
-        return {"hits": hits, "misses": misses, "verify_rpcs": verifies}
+        return {
+            "hits": hits,
+            "misses": misses,
+            "invalidations": invalidations,
+            "verify_rpcs": verifies,
+        }

@@ -283,31 +283,50 @@ class SimStorageServer(_SimServerBase):
         one verify RPC goes to the wire and the rest wait on its result —
         keeping verify traffic at one message per (capability, server).
         """
-        while (
-            cap is not None
-            and self.svc.shared_secret is None
-            and self.svc.cache.lookup(cap, self.env.now) is None
-        ):
-            pending = self._verify_inflight.get(cap.serial)
-            if pending is not None:
-                yield pending
-                continue  # re-check the cache (the verify may have failed)
-            event = self.env.event()
-            self._verify_inflight[cap.serial] = event
-            try:
-                self.verify_rpcs += 1
-                verified = yield from self._client.call(
-                    self.authz.node_id, "authz", "verify", cap=cap, server_id=self.server_id
-                )
-                self.svc.cache.insert(verified)
-                # With caching disabled we re-verify on every request; this
-                # only carries the fresh wire result into enforcement.
-                self.svc._preauthorized.add(cap.serial)
-            finally:
-                del self._verify_inflight[cap.serial]
-                event.succeed()
-            break
-        self.svc.authorize(cap, needed, cid)
+        tracer = self.env.tracer
+        span = prev = None
+        if tracer is not None:
+            span, prev = tracer.push(
+                "verify", kind="verify", node=self.node_id,
+                service=self.service_name, op="verify",
+            )
+        if cap is None:
+            outcome = "none"
+        elif self.svc.shared_secret is not None:
+            outcome = "local"  # shared-key mode: no cache, no RPC
+        else:
+            outcome = "hit"
+        try:
+            while (
+                cap is not None
+                and self.svc.shared_secret is None
+                and self.svc.cache.lookup(cap, self.env.now) is None
+            ):
+                pending = self._verify_inflight.get(cap.serial)
+                if pending is not None:
+                    outcome = "wait"  # piggybacking on an in-flight verify
+                    yield pending
+                    continue  # re-check the cache (the verify may have failed)
+                outcome = "miss"
+                event = self.env.event()
+                self._verify_inflight[cap.serial] = event
+                try:
+                    self.verify_rpcs += 1
+                    verified = yield from self._client.call(
+                        self.authz.node_id, "authz", "verify", cap=cap, server_id=self.server_id
+                    )
+                    self.svc.cache.insert(verified)
+                    # With caching disabled we re-verify on every request; this
+                    # only carries the fresh wire result into enforcement.
+                    self.svc._preauthorized.add(cap.serial)
+                finally:
+                    del self._verify_inflight[cap.serial]
+                    event.succeed()
+                break
+            self.svc.authorize(cap, needed, cid)
+        finally:
+            if tracer is not None:
+                tracer.pop(span, prev, outcome=outcome)
 
     def _cid_of(self, oid) -> ContainerID:
         return self.svc.store.container_of(oid)
@@ -341,11 +360,26 @@ class SimStorageServer(_SimServerBase):
             if data is None and not self.server_directed:
                 raise NetworkError("push-mode server got no inline data")
 
+            tracer = self.env.tracer
+            t_wait = self.env._now if tracer is not None else 0.0
             with self.threads.request() as thread:
                 yield thread
+                if tracer is not None and self.env._now > t_wait:
+                    tracer.record(
+                        "wait:threads", start=t_wait, kind="wait",
+                        node=self.node_id, service=self.service_name,
+                        resource="threads",
+                    )
                 if self.server_directed:
                     # Reserve a pinned buffer, then pull (Fig. 6 steps 2-3).
+                    t_wait = self.env._now if tracer is not None else 0.0
                     yield self.buffers.get(length)
+                    if tracer is not None and self.env._now > t_wait:
+                        tracer.record(
+                            "wait:buffers", start=t_wait, kind="wait",
+                            node=self.node_id, service=self.service_name,
+                            resource="buffers",
+                        )
                     md = MemoryDescriptor(length=length)
                     try:
                         data = yield from self.node.portals.get_inline(
@@ -369,9 +403,17 @@ class SimStorageServer(_SimServerBase):
         def read(ctx, cap, oid, offset, length, data_node, data_bits):
             yield from self._authorize(cap, OpMask.READ, self._cid_of(oid))
             yield from self.cpu("read_req", costs.request_cpu)
+            tracer = self.env.tracer
+            t_wait = self.env._now if tracer is not None else 0.0
             with self.threads.request() as thread:
                 yield thread
                 yield self.buffers.get(length)
+                if tracer is not None and self.env._now > t_wait:
+                    tracer.record(
+                        "wait:threads", start=t_wait, kind="wait",
+                        node=self.node_id, service=self.service_name,
+                        resource="threads",
+                    )
                 try:
                     data = self.svc.read(cap, oid, offset, length)
                     yield from self.device.read(piece_len(data) or length)

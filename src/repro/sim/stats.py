@@ -14,12 +14,31 @@ from typing import Dict, List
 __all__ = ["utilization_report", "format_utilization"]
 
 
+def _cache_cols(cache) -> Dict[str, object]:
+    """Verify-cache columns for one row (zeros when there is no cache)."""
+    if cache is None:
+        return {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_invalidations": 0,
+            "cache_hit_rate": 0.0,
+        }
+    stats = cache.stats()
+    return {
+        "cache_hits": stats["hits"],
+        "cache_misses": stats["misses"],
+        "cache_invalidations": stats["invalidations"],
+        "cache_hit_rate": stats["hit_rate"],
+    }
+
+
 def utilization_report(deployment, elapsed: float) -> List[Dict[str, object]]:
     """Per-server utilization rows for an LWFS or PFS deployment."""
     rows: List[Dict[str, object]] = []
     servers = getattr(deployment, "storage", None) or getattr(deployment, "osts", [])
     for server in servers:
         node = server.node
+        cache = getattr(server.svc, "cache", None) if hasattr(server, "svc") else None
         rows.append(
             {
                 "server": server.service_name,
@@ -28,9 +47,7 @@ def utilization_report(deployment, elapsed: float) -> List[Dict[str, object]]:
                 "nic_rx_util": round(node.nic.rx.utilization(elapsed), 3),
                 "nic_tx_util": round(node.nic.tx.utilization(elapsed), 3),
                 "requests": server.rpc.requests_served,
-                "cache_hits": getattr(server.svc.cache, "hits", 0)
-                if hasattr(server, "svc")
-                else 0,
+                **_cache_cols(cache),
             }
         )
     mds = getattr(deployment, "mds", None)
@@ -43,11 +60,22 @@ def utilization_report(deployment, elapsed: float) -> List[Dict[str, object]]:
                 "nic_rx_util": round(mds.node.nic.ctl_rx.utilization(elapsed), 3),
                 "nic_tx_util": round(mds.node.nic.ctl_tx.utilization(elapsed), 3),
                 "requests": mds.rpc.requests_served,
-                "cache_hits": 0,
+                **_cache_cols(None),
             }
         )
     authz = getattr(deployment, "authz", None)
     if authz is not None:
+        # The verify caches enforcing this authz service's decisions live
+        # on the storage servers; the authz row aggregates them so the
+        # cache's effectiveness is visible where the policy is decided.
+        hits = misses = invalidations = 0
+        for server in getattr(deployment, "storage", []):
+            cache = getattr(server.svc, "cache", None)
+            if cache is not None:
+                hits += cache.hits
+                misses += cache.misses
+                invalidations += cache.invalidations
+        lookups = hits + misses
         rows.append(
             {
                 "server": "authz",
@@ -56,7 +84,10 @@ def utilization_report(deployment, elapsed: float) -> List[Dict[str, object]]:
                 "nic_rx_util": round(authz.node.nic.ctl_rx.utilization(elapsed), 3),
                 "nic_tx_util": round(authz.node.nic.ctl_tx.utilization(elapsed), 3),
                 "requests": authz.rpc.requests_served,
-                "cache_hits": 0,
+                "cache_hits": hits,
+                "cache_misses": misses,
+                "cache_invalidations": invalidations,
+                "cache_hit_rate": round(hits / lookups, 4) if lookups else 0.0,
             }
         )
     return rows

@@ -36,6 +36,9 @@ class Environment:
         #: Total events popped off the queue (perf / determinism probe).
         self.events_processed: int = 0
         self._peak_queue: int = 0
+        #: Optional :class:`repro.trace.Tracer`; ``None`` keeps every
+        #: instrumentation site down to a single attribute check.
+        self.tracer = None
 
     # -- introspection -----------------------------------------------------
     @property

@@ -52,8 +52,23 @@ class Tally:
     def stdev(self) -> float:
         return math.sqrt(self.variance)
 
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile; needs ``keep_samples=True``."""
+        if self.samples is None:
+            raise ValueError(f"Tally {self.name!r} was not keeping samples")
+        if not self.samples:
+            return math.nan
+        ordered = sorted(self.samples)
+        rank = (len(ordered) - 1) * q
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "count": self.count,
             "mean": self.mean,
             "stdev": self.stdev,
@@ -61,6 +76,10 @@ class Tally:
             "max": self.max if self.count else math.nan,
             "total": self.total,
         }
+        if self.samples is not None:
+            out["p50"] = self.percentile(0.50)
+            out["p99"] = self.percentile(0.99)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Tally {self.name!r} n={self.count} mean={self.mean:.6g}>"
@@ -97,7 +116,11 @@ class Monitor:
         now = self.env.now
         elapsed = now - self._start
         if elapsed <= 0:
-            return self._level
+            # No observation window yet.  Returning the instantaneous level
+            # here misreported monitors constructed before the run started
+            # and queried at t == start; NaN says "no data", matching
+            # Tally.mean's empty-sample convention.
+            return math.nan
         area = self._area + self._level * (now - self._last_time)
         return area / elapsed
 

@@ -38,7 +38,7 @@ class Process(Event):
     process to join on it.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "span")
 
     def __init__(
         self,
@@ -52,6 +52,10 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or generator.__name__
+        # Ambient trace span: inherit the spawner's, so context follows
+        # env.process(...) hand-offs (pipelined writers, bulk transfers).
+        spawner = env._active_process
+        self.span = spawner.span if spawner is not None else None
 
         # Kick off the process at the current simulation time.
         init = Event(env)

@@ -28,12 +28,14 @@ class RaidDevice:
         name: str = "raid",
         rng: Optional[RandomStreams] = None,
         jitter: float = 0.03,
+        node_id: Optional[int] = None,
     ) -> None:
         self.env = env
         self.spec = spec
         self.name = name
         self.rng = rng
         self.jitter = jitter
+        self.node_id = node_id  # hosting node, for trace attribution
         self._controller = Resource(env, capacity=1)
         # Metadata ops (object create/remove, journal records) commit
         # through the controller's NVRAM journal, not the data path, so
@@ -49,13 +51,25 @@ class RaidDevice:
             return base
         return self.rng.jitter(f"{self.name}.{stream}", base, self.jitter)
 
-    def _busy(self, duration: float):
+    def _busy(self, duration: float, op: str = "io", nbytes: int = 0):
+        tracer = self.env.tracer
+        t_request = self.env._now if tracer is not None else 0.0
         with self._controller.request() as req:
             yield req
             start = self.env.now
             yield self.env.timeout(duration)
             self.busy_time += self.env.now - start
             self.op_stats.observe(duration)
+            if tracer is not None:
+                # One span per device op, split into its queueing and
+                # service components — the raw material for the
+                # PhaseReport's disk-queue vs disk-service attribution.
+                tracer.record(
+                    f"disk:{self.name}", start=t_request, kind="disk",
+                    node=self.node_id, op=op,
+                    queue=start - t_request, service=self.env.now - start,
+                    bytes=nbytes,
+                )
 
     # -- operations (generators) -------------------------------------------------
     def write(self, nbytes: int, seek: bool = False):
@@ -79,7 +93,7 @@ class RaidDevice:
             duration += self._cost(self.spec.seek_time, "seek")
         if nbytes:
             duration = self._cost(duration, "write")
-        yield from self._busy(duration)
+        yield from self._busy(duration, op="write", nbytes=nbytes)
         self.used_bytes += nbytes
 
     def read(self, nbytes: int, seek: bool = True):
@@ -89,11 +103,11 @@ class RaidDevice:
         duration = nbytes / self.spec.bandwidth
         if seek:
             duration += self._cost(self.spec.seek_time, "seek")
-        yield from self._busy(duration)
+        yield from self._busy(duration, op="read", nbytes=nbytes)
 
     def sync(self):
         """Flush the write-back cache (fsync)."""
-        yield from self._busy(self._cost(self.spec.sync_time, "sync"))
+        yield from self._busy(self._cost(self.spec.sync_time, "sync"), op="sync")
 
     def meta_op(self):
         """A metadata-touching device operation (create/remove/setattr).
@@ -101,6 +115,8 @@ class RaidDevice:
         Serialized against other metadata ops (one journal), but not
         against bulk data transfers.
         """
+        tracer = self.env.tracer
+        t_request = self.env._now if tracer is not None else 0.0
         with self._meta_lane.request() as req:
             yield req
             duration = self._cost(self.spec.meta_op_time, "meta")
@@ -108,6 +124,13 @@ class RaidDevice:
             yield self.env.timeout(duration)
             self.busy_time += self.env.now - start
             self.op_stats.observe(duration)
+            if tracer is not None:
+                tracer.record(
+                    f"disk:{self.name}", start=t_request, kind="disk",
+                    node=self.node_id, op="meta",
+                    queue=start - t_request, service=self.env.now - start,
+                    bytes=0,
+                )
 
     def release_bytes(self, nbytes: int) -> None:
         """Account for object/file removal."""

@@ -1,0 +1,34 @@
+"""``repro.trace`` — structured tracing for the simulator.
+
+Attach a :class:`Tracer` to an environment (``Tracer.install(env)``)
+before running, and every instrumented layer — RPC, portals, fabric,
+disks, verify cache, checkpoint phases, collectives — records causally
+linked spans.  Export with :func:`chrome_trace` (Chrome/Perfetto JSON) or
+:func:`format_timeline` (text), and attribute phase wall-clock with
+:class:`PhaseReport`.  With no tracer installed the instrumentation costs
+one attribute check per site.
+"""
+
+from .export import (
+    chrome_trace,
+    format_timeline,
+    summarize,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .phases import PhaseReport, PhaseRow
+from .stats import kernel_stats
+from .tracer import Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "format_timeline",
+    "summarize",
+    "kernel_stats",
+    "PhaseReport",
+    "PhaseRow",
+]

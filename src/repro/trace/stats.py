@@ -1,0 +1,23 @@
+"""Kernel-level run statistics, promoted to a stable surface.
+
+``events_processed`` and ``peak_queue_len`` started life as ad-hoc
+attributes on :class:`~repro.simkernel.core.Environment`; every consumer
+(benchmarks, the sweep executor, trace exports) now reads them through
+:func:`kernel_stats` so they land in ``BENCH_sweep.json`` and trace
+metadata under one set of key names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["kernel_stats"]
+
+
+def kernel_stats(env) -> Dict[str, float]:
+    """Uniform simkernel statistics for one environment."""
+    return {
+        "events_processed": env.events_processed,
+        "peak_event_queue": env.peak_queue_len,
+        "sim_seconds": env.now,
+    }

@@ -36,6 +36,28 @@ def test_dump_phase_is_disk_bound_for_lwfs():
     assert authz_row["requests"] < 20  # a handful of caps/verifies
 
 
+def test_authz_row_reports_real_cache_stats():
+    # The authz row used to hard-code cache_hits: 0; it must aggregate the
+    # storage servers' verify caches and agree with deployment.cache_stats().
+    cluster = SimCluster(dev_cluster(), SimConfig(), compute_nodes=4, io_nodes=2, service_nodes=1)
+    dep = LWFSDeployment(cluster, n_storage_servers=2)
+    elapsed = run_checkpoint(LWFSCheckpointer, dep, cluster)
+    rows = utilization_report(dep, elapsed)
+    authz_row = next(r for r in rows if r["server"] == "authz")
+    expected = dep.cache_stats()
+    assert authz_row["cache_hits"] == expected["hits"]
+    assert authz_row["cache_misses"] == expected["misses"]
+    assert authz_row["cache_invalidations"] == expected["invalidations"]
+    # The dump workload verifies each cap once then hits: hits must show up.
+    assert authz_row["cache_hits"] > 0
+    lookups = expected["hits"] + expected["misses"]
+    assert authz_row["cache_hit_rate"] == round(expected["hits"] / lookups, 4)
+    # Per-server rows carry their own cache columns too.
+    for row in (r for r in rows if r["server"].startswith("stor")):
+        assert {"cache_hits", "cache_misses", "cache_invalidations",
+                "cache_hit_rate"} <= set(row)
+
+
 def test_mds_visible_in_pfs_report():
     cluster = SimCluster(dev_cluster(), SimConfig(), compute_nodes=4, io_nodes=2, service_nodes=1)
     dep = PFSDeployment(cluster, n_osts=2)

@@ -40,6 +40,33 @@ class TestTally:
         summary = t.summary()
         assert set(summary) == {"count", "mean", "stdev", "min", "max", "total"}
 
+    def test_summary_has_percentiles_with_kept_samples(self):
+        t = Tally(keep_samples=True)
+        for v in range(1, 101):
+            t.observe(float(v))
+        summary = t.summary()
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_percentile_interpolates(self):
+        t = Tally(keep_samples=True)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            t.observe(v)
+        assert t.percentile(0.0) == 1.0
+        assert t.percentile(1.0) == 4.0
+        assert t.percentile(0.5) == pytest.approx(2.5)
+
+    def test_percentile_requires_kept_samples(self):
+        t = Tally()
+        t.observe(1.0)
+        with pytest.raises(ValueError):
+            t.percentile(0.5)
+        assert "p50" not in t.summary()
+
+    def test_percentile_empty_is_nan(self):
+        t = Tally(keep_samples=True)
+        assert math.isnan(t.percentile(0.5))
+
 
 class TestMonitor:
     def test_time_average(self):
@@ -65,6 +92,16 @@ class TestMonitor:
         mon.add(5)
         mon.add(-2)
         assert mon.level == 3
+
+    def test_time_average_is_nan_before_time_advances(self):
+        # A monitor queried at t == start has no observation window; the
+        # old code returned the instantaneous level, misreporting e.g. a
+        # queue that was set to 7 and immediately inspected as "average 7".
+        env = Environment()
+        mon = Monitor(env, "queue")
+        mon.set(7)
+        assert math.isnan(mon.time_average())
+        assert mon.level == 7
 
 
 class TestCounter:

@@ -1,0 +1,156 @@
+"""Tracer unit tests: span lifecycle, ambient context, inheritance."""
+
+import pickle
+
+import pytest
+
+from repro.simkernel import Environment
+from repro.trace import Span, Tracer
+
+
+def test_environment_has_no_tracer_by_default():
+    env = Environment()
+    assert env.tracer is None
+
+
+def test_install_attaches_tracer():
+    env = Environment()
+    tracer = Tracer.install(env)
+    assert env.tracer is tracer
+    assert len(tracer) == 0
+
+
+def test_begin_end_records_interval():
+    env = Environment()
+    tracer = Tracer.install(env)
+
+    def proc(env):
+        span = tracer.begin("work", kind="disk", node=3, op="write", bytes=42)
+        yield env.timeout(2.5)
+        tracer.end(span, queue=0.5)
+
+    env.process(proc(env))
+    env.run()
+    (span,) = tracer.spans
+    assert span.name == "work"
+    assert span.kind == "disk"
+    assert span.node == 3
+    assert span.start == 0.0
+    assert span.end == 2.5
+    assert span.dur == 2.5
+    assert span.attrs == {"bytes": 42, "queue": 0.5}
+
+
+def test_record_is_begin_plus_end():
+    env = Environment()
+    tracer = Tracer.install(env)
+
+    def proc(env):
+        t0 = env.now
+        yield env.timeout(1.0)
+        tracer.record("xfer", start=t0, kind="xfer")
+
+    env.process(proc(env))
+    env.run()
+    (span,) = tracer.spans
+    assert (span.start, span.end) == (0.0, 1.0)
+
+
+def test_push_pop_sets_ambient_parent():
+    env = Environment()
+    tracer = Tracer.install(env)
+    seen = {}
+
+    def proc(env):
+        outer = tracer.push("outer", kind="rpc")
+        seen["ambient"] = tracer.current_id()
+        inner = tracer.push("inner", kind="bulk")
+        yield env.timeout(1.0)
+        tracer.pop(*inner)
+        tracer.pop(*outer)
+        seen["after"] = tracer.current_id()
+
+    env.process(proc(env))
+    env.run()
+    inner_span = next(s for s in tracer.spans if s.name == "inner")
+    outer_span = next(s for s in tracer.spans if s.name == "outer")
+    assert seen["ambient"] == outer_span.span_id
+    assert inner_span.parent_id == outer_span.span_id
+    assert outer_span.parent_id is None
+    assert seen["after"] is None
+
+
+def test_spawned_process_inherits_ambient_span():
+    env = Environment()
+    tracer = Tracer.install(env)
+
+    def child(env):
+        span = tracer.begin("child-work")
+        yield env.timeout(1.0)
+        tracer.end(span)
+
+    def parent(env):
+        token = tracer.push("parent", kind="phase")
+        yield env.process(child(env))
+        tracer.pop(*token)
+
+    env.process(parent(env))
+    env.run()
+    child_span = next(s for s in tracer.spans if s.name == "child-work")
+    parent_span = next(s for s in tracer.spans if s.name == "parent")
+    assert child_span.parent_id == parent_span.span_id
+
+
+def test_explicit_parent_overrides_ambient():
+    env = Environment()
+    tracer = Tracer.install(env)
+
+    def proc(env):
+        token = tracer.push("ambient", kind="phase")
+        span = tracer.begin("detached", parent=None)
+        yield env.timeout(1.0)
+        tracer.end(span)
+        tracer.pop(*token)
+
+    env.process(proc(env))
+    env.run()
+    detached = next(s for s in tracer.spans if s.name == "detached")
+    assert detached.parent_id is None
+
+
+def test_span_ids_are_sequential():
+    env = Environment()
+    tracer = Tracer.install(env)
+    a = tracer.begin("a")
+    b = tracer.begin("b")
+    assert (a.span_id, b.span_id) == (1, 2)
+
+
+def test_span_pickle_roundtrip():
+    span = Span(5, 2, "disk:raid0", "disk", 7, "storage", "write", 1.5)
+    span.end = 2.5
+    span.attrs = {"bytes": 64}
+    clone = pickle.loads(pickle.dumps(span))
+    assert clone.key() == span.key()
+
+
+def test_tracing_never_schedules_events():
+    def workload(env):
+        def proc(env):
+            tracer = env.tracer
+            for _ in range(5):
+                if tracer is not None:
+                    token = tracer.push("step", kind="phase")
+                yield env.timeout(1.0)
+                if tracer is not None:
+                    tracer.pop(*token)
+
+        env.process(proc(env))
+        env.run()
+        return env.events_processed, env.now
+
+    plain = workload(Environment())
+    env = Environment()
+    Tracer.install(env)
+    traced = workload(env)
+    assert plain == traced
