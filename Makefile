@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick trace-quick
+.PHONY: test bench bench-quick trace-quick scale-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,17 @@ bench:
 # asserted bit-identical.  Per-trial stats land in BENCH_sweep.json.
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m repro.bench.executor --jobs 2 --check-determinism
+
+# Scale-out smoke: cold-vs-warm trial cache (identical aggregates, all
+# hits on the warm pass), kernel perf guard (fails if events/s drops
+# below 0.7x the BENCH_kernel.json baseline), and one collapsed
+# checkpoint point printed next to its representative/multiplicity stats.
+scale-quick:
+	REPRO_BENCH_QUICK=1 REPRO_BENCH_CACHE_DIR=$$(mktemp -d) \
+		$(PYTHON) -m repro.bench.executor --jobs 2 --check-cache
+	$(PYTHON) benchmarks/check_kernel_perf.py
+	$(PYTHON) -m repro checkpoint --impl lustre-fpp --clients 64 --servers 16 \
+		--state-mb 16 --collapse
 
 # One traced checkpoint trial: phase report, timeline, and Chrome trace
 # JSON (results/trace_quick.json), schema-validated.

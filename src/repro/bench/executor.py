@@ -21,6 +21,13 @@ compare against.
 Every recorded sweep appends per-trial wall-clock and event-loop stats to
 ``BENCH_sweep.json`` at the repository root (override the path with
 ``REPRO_BENCH_SWEEP_JSON``), so speedups are measurable across PRs.
+
+Trials are deterministic, so finished outcomes persist in a
+content-addressed cache (:mod:`repro.bench.cache`) under
+``results/.trial-cache/`` and re-running an unchanged sweep point costs a
+file read instead of a simulation.  Disable with ``--no-cache`` or
+``REPRO_BENCH_CACHE=0``; sweep records report ``cache_hits`` /
+``cache_misses`` so warm runs are visible in BENCH_sweep.json.
 """
 
 from __future__ import annotations
@@ -88,6 +95,9 @@ class TrialOutcome:
     trace: Optional[list] = None
     #: Compact per-kind summary of the trace, sized for BENCH_sweep.json.
     trace_summary: Optional[Dict[str, Any]] = None
+    #: ``True`` when the outcome came from the persistent trial cache
+    #: (``wall_clock_s`` is then the cache lookup, not a simulation).
+    cached: bool = False
 
 
 def checkpoint_spec(impl: str, n_clients: int, n_servers: int, seed: int, **params) -> TrialSpec:
@@ -162,7 +172,51 @@ def _pool_context():
         return None
 
 
-def run_trials(specs: Sequence[TrialSpec], jobs: Optional[int] = None) -> List[TrialOutcome]:
+def _resolve_cache(cache):
+    """Map the ``cache`` argument to a TrialCache or None.
+
+    ``None`` (default) consults ``REPRO_BENCH_CACHE``; ``False`` disables
+    for this call; ``True`` forces the default store; a
+    :class:`~repro.bench.cache.TrialCache` instance is used as-is.
+    """
+    from .cache import TrialCache, cache_enabled
+
+    if cache is None:
+        return TrialCache() if cache_enabled() else None
+    if cache is False:
+        return None
+    if cache is True:
+        return TrialCache()
+    return cache
+
+
+def _outcome_payload(o: TrialOutcome) -> Dict[str, Any]:
+    """The deterministic slice of an outcome, as stored in the cache."""
+    return {
+        "value": o.value,
+        "unit": o.unit,
+        "events_processed": o.events_processed,
+        "peak_event_queue": o.peak_event_queue,
+        "sim_seconds": o.sim_seconds,
+    }
+
+
+def _cached_outcome(spec: TrialSpec, payload: Dict[str, Any], wall: float) -> TrialOutcome:
+    return TrialOutcome(
+        spec=spec,
+        value=float(payload["value"]),
+        unit=str(payload["unit"]),
+        wall_clock_s=wall,
+        events_processed=int(payload.get("events_processed", 0)),
+        peak_event_queue=int(payload.get("peak_event_queue", 0)),
+        sim_seconds=float(payload.get("sim_seconds", 0.0)),
+        cached=True,
+    )
+
+
+def run_trials(
+    specs: Sequence[TrialSpec], jobs: Optional[int] = None, cache=None
+) -> List[TrialOutcome]:
     """Run every trial and return outcomes in input order.
 
     With ``jobs > 1`` the trials run on a process pool; the merge is keyed
@@ -170,20 +224,45 @@ def run_trials(specs: Sequence[TrialSpec], jobs: Optional[int] = None) -> List[T
     regardless of which worker finishes first.  Pool-infrastructure
     failures (no fork, no semaphores, unpicklable params) degrade to the
     in-process path; real trial errors propagate either way.
+
+    Specs with a warm entry in the persistent trial cache are answered
+    from disk (``cached=True`` on the outcome) and never reach the pool;
+    fresh results are written back.  Pass ``cache=False`` to bypass.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(specs) <= 1:
-        return [_run_trial(spec) for spec in specs]
+    store = _resolve_cache(cache)
+
+    merged: Dict[int, TrialOutcome] = {}
+    pending: List[int] = []
+    if store is not None:
+        for i, spec in enumerate(specs):
+            t0 = time.perf_counter()
+            payload = store.get(spec)
+            if payload is not None:
+                merged[i] = _cached_outcome(spec, payload, time.perf_counter() - t0)
+            else:
+                pending.append(i)
+    else:
+        pending = list(range(len(specs)))
+
+    def finish(i: int, outcome: TrialOutcome) -> None:
+        merged[i] = outcome
+        if store is not None:
+            store.put(specs[i], _outcome_payload(outcome))
+
+    if jobs <= 1 or len(pending) <= 1:
+        for i in pending:
+            finish(i, _run_trial(specs[i]))
+        return [merged[i] for i in range(len(specs))]
 
     try:
         with ProcessPoolExecutor(
-            max_workers=min(jobs, len(specs)), mp_context=_pool_context()
+            max_workers=min(jobs, len(pending)), mp_context=_pool_context()
         ) as pool:
-            futures = {pool.submit(_run_trial, spec): i for i, spec in enumerate(specs)}
-            merged: Dict[int, TrialOutcome] = {}
+            futures = {pool.submit(_run_trial, specs[i]): i for i in pending}
             for future in as_completed(futures):
-                merged[futures[future]] = future.result()
+                finish(futures[future], future.result())
         return [merged[i] for i in range(len(specs))]
     except (OSError, PicklingError, ImportError, PermissionError) as exc:
         # The pool itself is unavailable; the sweep still has to finish.
@@ -195,7 +274,10 @@ def run_trials(specs: Sequence[TrialSpec], jobs: Optional[int] = None) -> List[T
             RuntimeWarning,
             stacklevel=2,
         )
-        return [_run_trial(spec) for spec in specs]
+        for i in pending:
+            if i not in merged:
+                finish(i, _run_trial(specs[i]))
+        return [merged[i] for i in range(len(specs))]
 
 
 def sweep_json_path() -> str:
@@ -212,12 +294,13 @@ def run_sweep(
     jobs: Optional[int] = None,
     label: str = "sweep",
     record: bool = True,
+    cache=None,
 ) -> List[TrialOutcome]:
     """Run a whole sweep, optionally recording stats to BENCH_sweep.json."""
     specs = list(specs)
     jobs = resolve_jobs(jobs)
     start = time.perf_counter()
-    outcomes = run_trials(specs, jobs=jobs)
+    outcomes = run_trials(specs, jobs=jobs, cache=cache)
     wall = time.perf_counter() - start
     if record:
         _record_sweep(label, jobs, wall, outcomes)
@@ -238,6 +321,7 @@ def _trial_record(o: TrialOutcome) -> Dict[str, Any]:
         "events_processed": o.events_processed,
         "peak_event_queue": o.peak_event_queue,
         "sim_seconds": round(o.sim_seconds, 9),
+        "cached": o.cached,
     }
     if o.trace_summary is not None:
         row["trace_summary"] = o.trace_summary
@@ -257,6 +341,7 @@ def _record_sweep(label: str, jobs: int, wall: float, outcomes: List[TrialOutcom
         pass
 
     serial_s = sum(o.wall_clock_s for o in outcomes)
+    hits = sum(1 for o in outcomes if o.cached)
     doc["sweeps"].append(
         {
             "label": label,
@@ -265,6 +350,8 @@ def _record_sweep(label: str, jobs: int, wall: float, outcomes: List[TrialOutcom
             "wall_clock_s": round(wall, 6),
             "serial_trial_s": round(serial_s, 6),
             "speedup": round(serial_s / wall, 3) if wall > 0 else None,
+            "cache_hits": hits,
+            "cache_misses": len(outcomes) - hits,
             "events_processed": sum(o.events_processed for o in outcomes),
             "per_trial": [_trial_record(o) for o in outcomes],
         }
@@ -318,20 +405,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--check-determinism", action="store_true",
         help="re-run the sweep with jobs=1 and require bit-identical results",
     )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent trial cache (results/.trial-cache)",
+    )
+    parser.add_argument(
+        "--check-cache", action="store_true",
+        help="re-run the sweep warm and require identical results from cache hits",
+    )
     args = parser.parse_args(argv)
 
+    cache = False if args.no_cache else None
     jobs = resolve_jobs(args.jobs)
     specs = _quick_grid()
     start = time.perf_counter()
-    outcomes = run_sweep(specs, jobs=jobs, label=f"quick(jobs={jobs})")
+    outcomes = run_sweep(specs, jobs=jobs, label=f"quick(jobs={jobs})", cache=cache)
     wall = time.perf_counter() - start
+    hits = sum(1 for o in outcomes if o.cached)
     print(
         f"quick sweep: {len(outcomes)} trials, jobs={jobs}, "
-        f"{wall:.2f}s wall, {sum(o.events_processed for o in outcomes)} events"
+        f"{wall:.2f}s wall, {sum(o.events_processed for o in outcomes)} events, "
+        f"{hits} cache hits"
     )
 
+    if args.check_cache:
+        if args.no_cache:
+            print("--check-cache is meaningless with --no-cache")
+            return 2
+        warm_start = time.perf_counter()
+        warm = run_sweep(specs, jobs=jobs, label=f"quick-warm(jobs={jobs})", cache=cache)
+        warm_wall = time.perf_counter() - warm_start
+        warm_hits = sum(1 for o in warm if o.cached)
+        bad = [
+            (o.spec.key(), o.value, w.value)
+            for o, w in zip(outcomes, warm)
+            if o.value != w.value
+        ]
+        if bad or warm_hits != len(specs):
+            for key, cold_v, warm_v in bad[:10]:
+                print(f"CACHE MISMATCH {key}: cold={cold_v!r} warm={warm_v!r}")
+            print(f"cache check FAILED: {warm_hits}/{len(specs)} hits, {len(bad)} mismatches")
+            return 1
+        ratio = wall / warm_wall if warm_wall > 0 else float("inf")
+        print(
+            f"cache ok: {warm_hits}/{len(specs)} warm hits, identical aggregates, "
+            f"{wall:.2f}s cold vs {warm_wall:.2f}s warm ({ratio:.1f}x)"
+        )
+
     if args.check_determinism:
-        serial = run_sweep(specs, jobs=1, label="quick(jobs=1)")
+        serial = run_sweep(specs, jobs=1, label="quick(jobs=1)", cache=False)
         mismatches = [
             (o.spec.key(), o.value, s.value)
             for o, s in zip(outcomes, serial)

@@ -45,9 +45,10 @@ def _sweep_points(
     unit: str,
     jobs: Optional[int],
     label: str,
+    cache=None,
 ) -> List[SweepPoint]:
     """Run *specs* (grouped in blocks of *trials*) and aggregate each block."""
-    outcomes = run_sweep(specs, jobs=jobs, label=label)
+    outcomes = run_sweep(specs, jobs=jobs, label=label, cache=cache)
     points: List[SweepPoint] = []
     for i in range(0, len(outcomes), trials):
         block = outcomes[i : i + trials]
@@ -67,6 +68,7 @@ def fig9_panel(
     state_bytes: int = 64 * MiB,
     trials: int = 3,
     jobs: Optional[int] = None,
+    cache=None,
 ) -> List[SweepPoint]:
     """One panel of Figure 9: throughput for every (clients, servers)."""
     specs = [
@@ -75,7 +77,7 @@ def fig9_panel(
         for n in clients
         for t in range(trials)
     ]
-    return _sweep_points(specs, trials, "MB/s", jobs, f"fig9:{impl}")
+    return _sweep_points(specs, trials, "MB/s", jobs, f"fig9:{impl}", cache=cache)
 
 
 def fig10_panel(
@@ -85,6 +87,7 @@ def fig10_panel(
     creates_per_client: int = 32,
     trials: int = 3,
     jobs: Optional[int] = None,
+    cache=None,
 ) -> List[SweepPoint]:
     """Figure 10 (b) or (c): create throughput sweep for one stack."""
     specs = [
@@ -93,7 +96,7 @@ def fig10_panel(
         for n in clients
         for t in range(trials)
     ]
-    return _sweep_points(specs, trials, "ops/s", jobs, f"fig10:{impl}")
+    return _sweep_points(specs, trials, "ops/s", jobs, f"fig10:{impl}", cache=cache)
 
 
 def fig10_comparison(

@@ -83,6 +83,8 @@ def _build(
     seed: int,
     spec: Optional[MachineSpec] = None,
     config: Optional[SimConfig] = None,
+    collapse: bool = False,
+    collapse_state_bytes: int = 0,
     **deploy_kwargs,
 ):
     spec = spec or dev_cluster()
@@ -106,7 +108,16 @@ def _build(
         checkpointer = PFSCheckpointer(deployment, mode="shared")
     else:
         raise ValueError(f"unknown implementation {impl!r}; expected one of {IMPLEMENTATIONS}")
-    app = ParallelApp(cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=n_clients)
+    plan = None
+    if collapse:
+        from ..sim.collapse import collapse_plan
+
+        plan = collapse_plan(
+            n_clients, lambda r: checkpointer.collapse_key(r, collapse_state_bytes)
+        )
+    app = ParallelApp(
+        cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=n_clients, collapse=plan
+    )
     return cluster, deployment, checkpointer, app
 
 
@@ -119,6 +130,7 @@ def run_checkpoint_trial(
     spec: Optional[MachineSpec] = None,
     config: Optional[SimConfig] = None,
     trace: bool = False,
+    collapse: bool = False,
     **deploy_kwargs,
 ) -> TrialResult:
     """One full checkpoint (setup once + one dump), Figure 9 workload.
@@ -127,9 +139,14 @@ def run_checkpoint_trial(
     environment before the run and the completed spans land on
     ``TrialResult.trace``.  Tracing never schedules events, so the
     simulated timings are bit-identical either way.
+
+    ``collapse=True`` simulates one representative per symmetric client
+    class (see :mod:`repro.sim.collapse`) — same aggregate figures within
+    jitter tolerance, far fewer simulated processes.
     """
     cluster, deployment, checkpointer, app = _build(
-        impl, n_clients, n_servers, seed, spec, config, **deploy_kwargs
+        impl, n_clients, n_servers, seed, spec, config,
+        collapse=collapse, collapse_state_bytes=state_bytes, **deploy_kwargs
     )
     tracer = _maybe_trace(cluster, trace)
 
@@ -144,6 +161,8 @@ def run_checkpoint_trial(
     results = app.run(main)
     max_elapsed = max(r.elapsed for r in results)
     mean_elapsed = sum(r.elapsed for r in results) / len(results)
+    extra = _kernel_stats(cluster)
+    extra.update(_collapse_stats(app))
     return TrialResult(
         impl=impl,
         n_clients=n_clients,
@@ -153,7 +172,7 @@ def run_checkpoint_trial(
         mean_elapsed=mean_elapsed,
         throughput_mb_s=(n_clients * state_bytes / MiB) / max_elapsed,
         create_max_elapsed=max(r.create_elapsed for r in results),
-        extra=_kernel_stats(cluster),
+        extra=extra,
         trace=tracer.spans if tracer is not None else None,
     )
 
@@ -167,11 +186,12 @@ def run_create_trial(
     spec: Optional[MachineSpec] = None,
     config: Optional[SimConfig] = None,
     trace: bool = False,
+    collapse: bool = False,
     **deploy_kwargs,
 ) -> TrialResult:
     """Create-only phase (Figure 10 workload): empty objects/files."""
     cluster, deployment, checkpointer, app = _build(
-        impl, n_clients, n_servers, seed, spec, config, **deploy_kwargs
+        impl, n_clients, n_servers, seed, spec, config, collapse=collapse, **deploy_kwargs
     )
     tracer = _maybe_trace(cluster, trace)
 
@@ -185,6 +205,7 @@ def run_create_trial(
     max_elapsed = max(r.elapsed for r in results)
     total_creates = n_clients * creates_per_client
     extra = _kernel_stats(cluster)
+    extra.update(_collapse_stats(app))
     extra["creates_per_s"] = total_creates / max_elapsed
     return TrialResult(
         impl=impl,
@@ -212,6 +233,17 @@ def _kernel_stats(cluster) -> Dict[str, float]:
     from ..trace.stats import kernel_stats
 
     return {k: float(v) for k, v in kernel_stats(cluster.env).items()}
+
+
+def _collapse_stats(app) -> Dict[str, float]:
+    """Collapse-plan summary for the trial record (empty when exact)."""
+    if not app.collapse:
+        return {}
+    mults = [ctx.multiplicity for ctx in app.contexts]
+    return {
+        "ranks_simulated": float(len(mults)),
+        "max_multiplicity": float(max(mults)),
+    }
 
 
 def _aggregate(impl, n_clients, n_servers, values: List[float], unit: str) -> SweepPoint:

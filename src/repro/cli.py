@@ -53,6 +53,9 @@ def build_parser() -> argparse.ArgumentParser:
     point.add_argument("--seed", type=int, default=1)
     point.add_argument("--trace", default=None, metavar="PATH",
                        help="record a span trace and write Chrome trace JSON here")
+    point.add_argument("--collapse", action="store_true",
+                       help="simulate one representative per symmetric client class "
+                            "(weighted resources; far fewer processes)")
 
     create = sub.add_parser("create", help="one Fig. 10 point (creates/s)")
     create.add_argument("--impl", default="lwfs", choices=["lwfs", "lustre-fpp"])
@@ -60,6 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
     create.add_argument("--servers", type=int, default=8)
     create.add_argument("--per-client", type=int, default=32)
     create.add_argument("--seed", type=int, default=1)
+    create.add_argument("--collapse", action="store_true",
+                        help="simulate one representative per symmetric client class")
 
     def positive_int(text):
         value = int(text)
@@ -72,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
             "-j", "--jobs", type=positive_int, default=None, metavar="N",
             help="worker processes for the sweep (default: REPRO_BENCH_JOBS "
                  "env var, else the CPU count; 1 = serial in-process)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="bypass the persistent trial cache (results/.trial-cache); "
+                 "also REPRO_BENCH_CACHE=0",
         )
 
     fig9 = sub.add_parser("fig9", help="one Fig. 9 panel, charted")
@@ -165,13 +175,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_checkpoint_trial(
             args.impl, args.clients, args.servers,
             state_bytes=args.state_mb * MiB, seed=args.seed,
-            trace=args.trace is not None,
+            trace=args.trace is not None, collapse=args.collapse,
         )
+        collapsed = ""
+        if args.collapse:
+            collapsed = (
+                f" [{result.extra['ranks_simulated']:.0f} representatives, "
+                f"max class {result.extra['max_multiplicity']:.0f}]"
+            )
         print(
             f"{args.impl}: {args.clients} clients x {args.state_mb} MB over "
             f"{args.servers} servers -> {result.throughput_mb_s:.1f} MB/s "
             f"(max rank time {result.max_elapsed:.3f} s, "
-            f"create phase {result.create_max_elapsed * 1e3:.2f} ms)"
+            f"create phase {result.create_max_elapsed * 1e3:.2f} ms)" + collapsed
         )
         if args.trace is not None:
             _export_trace(result, args.trace)
@@ -180,10 +196,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_create_trial(
             args.impl, args.clients, args.servers,
             creates_per_client=args.per_client, seed=args.seed,
+            collapse=args.collapse,
         )
+        collapsed = ""
+        if args.collapse:
+            collapsed = f" [{result.extra['ranks_simulated']:.0f} representatives]"
         print(
             f"{args.impl}: {args.clients} clients x {args.per_client} creates over "
             f"{args.servers} servers -> {result.extra['creates_per_s']:.0f} creates/s"
+            + collapsed
         )
 
     elif args.command == "fig9":
@@ -194,6 +215,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             state_bytes=args.state_mb * MiB,
             trials=args.trials,
             jobs=args.jobs,
+            cache=False if args.no_cache else None,
         )
         print(format_series_table(f"Figure 9 — {args.impl} checkpoint throughput", points))
         print()
@@ -212,6 +234,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             servers=tuple(args.servers),
             trials=args.trials,
             jobs=args.jobs,
+            cache=False if args.no_cache else None,
         )
         print(format_series_table(f"Figure 10 — {args.impl} creation throughput", points))
         print()

@@ -101,6 +101,16 @@ class LWFSCheckpointer:
     def client(self, ctx: RankContext) -> SimLWFSClient:
         return self.deployment.client(ctx.node)
 
+    def collapse_key(self, rank: int, state_bytes: int = 0):
+        """Equivalence-class key for symmetric-client collapsing.
+
+        Two non-root ranks are interchangeable iff the placement policy
+        sends them to the same storage server — everything else about a
+        rank's checkpoint work is identical.  Feed this to
+        :func:`repro.sim.collapse.collapse_plan`.
+        """
+        return ("srv", self.placement.place(rank, self.deployment.n_servers))
+
     # -- MAIN() lines 1-3: once per application --------------------------------
     def setup(self, ctx: RankContext):
         """GETCREDS + CREATECONTAINER + GETCAPS, then the log-scatter of
@@ -149,11 +159,12 @@ class LWFSCheckpointer:
         oid = None
         error = None
         create_elapsed = 0.0
+        mult = ctx.multiplicity
         try:
             if txnid is not None:
                 yield from client.txn_join_storage(txnid, sid)
             create_start = ctx.env.now
-            oid = yield from client.create_object(self.cap, sid, txnid=txnid)
+            oid = yield from client.create_object(self.cap, sid, txnid=txnid, weight=mult)
             create_elapsed = ctx.env.now - create_start
         except Exception as exc:  # noqa: BLE001 - reported collectively
             error = f"{type(exc).__name__}: {exc}"
@@ -162,7 +173,7 @@ class LWFSCheckpointer:
         if error is None:
             phase = _phase_begin(ctx, "write")
             try:
-                yield from client.write(self.cap, oid, state, txnid=txnid)
+                yield from client.write(self.cap, oid, state, txnid=txnid, weight=mult)
             except Exception as exc:  # noqa: BLE001 - reported collectively
                 error = f"{type(exc).__name__}: {exc}"
             _phase_end(ctx, phase)
@@ -170,7 +181,7 @@ class LWFSCheckpointer:
         if error is None:
             phase = _phase_begin(ctx, "sync")
             try:
-                yield from client.sync(sid)
+                yield from client.sync(sid, weight=mult)
             except Exception as exc:  # noqa: BLE001 - reported collectively
                 error = f"{type(exc).__name__}: {exc}"
             _phase_end(ctx, phase)
@@ -191,7 +202,7 @@ class LWFSCheckpointer:
             failed = any(entry["error"] for entry in gathered)
             if not failed:
                 try:
-                    md_sid = self.placement.place(ctx.size, self.deployment.n_servers)
+                    md_sid = self.placement.place(ctx.total_size, self.deployment.n_servers)
                     if txnid is not None:
                         yield from client.txn_join_storage(txnid, md_sid)
                     mdobj = yield from client.create_object(
@@ -266,7 +277,7 @@ class LWFSCheckpointer:
         phase = _phase_begin(ctx, "create")
         oids = []
         for _ in range(count):
-            oid = yield from client.create_object(self.cap, sid)
+            oid = yield from client.create_object(self.cap, sid, weight=ctx.multiplicity)
             oids.append(oid)
         _phase_end(ctx, phase)
         return CheckpointResult(
@@ -350,6 +361,22 @@ class PFSCheckpointer:
     def client(self, ctx: RankContext) -> SimPFSClient:
         return self.deployment.client(ctx.node)
 
+    def collapse_key(self, rank: int, state_bytes: int = 0):
+        """Equivalence-class key for symmetric-client collapsing.
+
+        File-per-process: ranks are interchangeable iff the MDS allocator
+        lands their single-stripe files on the same OST (arrival-order
+        round-robin ≈ ``rank % n_osts`` for rank-ordered arrivals).
+        Shared file: iff their write region starts at the same phase of
+        the stripe rotation — same OST sequence, same partial-stripe
+        splits (*state_bytes* is each rank's region size).
+        """
+        n_osts = self.deployment.n_osts
+        if self.mode == "file-per-process":
+            return ("ost", rank % n_osts)
+        stripe = self.deployment.mds.default_stripe_size
+        return ("phase", ((rank * state_bytes) // stripe) % n_osts)
+
     def setup(self, ctx: RankContext):
         """No security/acquisition phase: kept for interface symmetry."""
         yield from ctx.barrier()
@@ -364,11 +391,21 @@ class PFSCheckpointer:
             )
         nbytes = piece_len(state)
         start = ctx.env.now
+        mult = ctx.multiplicity
+        shared = self.mode == "shared"
 
         phase = _phase_begin(ctx, "create")
         if self.mode == "file-per-process":
             create_start = ctx.env.now
-            fh = yield from client.create(f"{path}.rank{ctx.rank}", stripe_count=1)
+            # Weighted creates pin their OST: a class representative's one
+            # file carries the whole class's bytes, so where it lands
+            # decides the per-OST load balance.  Hinting by the collapse
+            # key tiles the OSTs exactly as the class's individual files
+            # did; weight-1 creates keep the arrival-order allocator.
+            hint = ctx.rank % self.deployment.n_osts if mult > 1 else None
+            fh = yield from client.create(
+                f"{path}.rank{ctx.rank}", stripe_count=1, weight=mult, ost_hint=hint
+            )
             create_elapsed = ctx.env.now - create_start
         else:
             create_start = ctx.env.now
@@ -376,23 +413,30 @@ class PFSCheckpointer:
                 fh = yield from client.create(path, stripe_count=self.deployment.n_osts)
             yield from ctx.barrier()
             if ctx.rank != 0:
-                fh = yield from client.open(path, OpenFlags.WRONLY)
+                fh = yield from client.open(path, OpenFlags.WRONLY, weight=mult)
             create_elapsed = ctx.env.now - create_start
         _phase_end(ctx, phase)
 
         offset = 0 if self.mode == "file-per-process" else ctx.rank * nbytes
         phase = _phase_begin(ctx, "write")
-        yield from client.write(fh, offset, state)
+        yield from client.write(fh, offset, state, weight=mult, shared=shared)
         _phase_end(ctx, phase)
 
         phase = _phase_begin(ctx, "sync")
-        yield from client.fsync(fh)
+        yield from client.fsync(fh, weight=mult)
         _phase_end(ctx, phase)
 
         phase = _phase_begin(ctx, "close")
-        yield from client.close(fh)
+        yield from client.close(fh, weight=mult)
         yield from ctx.barrier()
         _phase_end(ctx, phase)
+        if fh.create_tail is not None:
+            # The MDS finished the class's remaining creates in the
+            # background; report the time the class's LAST create would
+            # have completed, which is what the exact run's max measures.
+            if not fh.create_tail.triggered:
+                yield fh.create_tail
+            create_elapsed = fh.create_tail.value - create_start
         return CheckpointResult(
             rank=ctx.rank,
             elapsed=ctx.env.now - start,
@@ -407,11 +451,17 @@ class PFSCheckpointer:
         self._seq += 1
         start = ctx.env.now
         phase = _phase_begin(ctx, "create")
+        fh = None
         for i in range(count):
             fh = yield from client.create(
-                f"/ckpt/pfs/create/{self._seq}/r{ctx.rank}.{i}", stripe_count=1
+                f"/ckpt/pfs/create/{self._seq}/r{ctx.rank}.{i}", stripe_count=1,
+                weight=ctx.multiplicity,
             )
-            yield from client.close(fh)
+            yield from client.close(fh, weight=ctx.multiplicity)
+        if fh is not None and fh.create_tail is not None and not fh.create_tail.triggered:
+            # The phase isn't over until the MDS drains the class's
+            # deferred create units (earlier tails finished first: FIFO).
+            yield fh.create_tail
         _phase_end(ctx, phase)
         return CheckpointResult(rank=ctx.rank, elapsed=ctx.env.now - start, bytes_moved=0)
 

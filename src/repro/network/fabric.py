@@ -135,9 +135,14 @@ class Fabric:
         t0 = env._now if tracer is not None else 0.0
 
         wire_bytes = max(int(msg.size), self.MIN_WIRE_BYTES)
+        mult = msg.meta.get("mult", 1)
 
         # Sender host overhead (header build, matching; copies if no RDMA).
-        send_cost = src.msg_overhead_time() + src.copy_overhead_time(wire_bytes)
+        # A collapsed representative only builds/copies its own share; its
+        # classmates did theirs in parallel.
+        send_cost = src.msg_overhead_time() + src.copy_overhead_time(
+            wire_bytes // mult if mult > 1 else wire_bytes
+        )
         if send_cost > 0:
             yield env.timeout(send_cost)
 
@@ -148,6 +153,51 @@ class Fabric:
             rx_pipe = dst.nic.ctl_rx if control else dst.nic.rx
             rate = min(tx_pipe.bandwidth, rx_pipe.bandwidth)
             duration = wire_bytes / rate
+
+            if mult > 1:
+                # Symmetric-client collapsing: this transfer stands for
+                # ``mult`` transfers from *different* senders (one per
+                # collapsed class member) converging on the same receiver.
+                # The receiver's pipe serializes all of them, but the
+                # representative's own NIC only ever carried its share —
+                # the classmates' NICs transmitted the rest in parallel
+                # in the exact run.
+                share = duration / mult
+                with rx_pipe._slot.request() as rx_req:
+                    yield rx_req
+                    start = env.now
+                    with tx_pipe._slot.request() as tx_req:
+                        yield tx_req
+                        tx_start = env.now
+                        yield env.timeout(share)
+                        tx_pipe.bytes_moved += wire_bytes // mult
+                        tx_pipe.busy_time += env.now - tx_start
+                    yield env.timeout(duration - share)
+                    rx_pipe.bytes_moved += wire_bytes
+                    rx_pipe.busy_time += env.now - start
+                yield env.timeout(self.wire_latency(msg.src, msg.dst))
+                if not dst.alive:
+                    raise NodeFailure(
+                        f"node {dst.name} died before delivery of {msg.tag!r}"
+                    )
+                # The receiver handled all ``mult`` incoming messages.
+                recv_cost = mult * dst.msg_overhead_time() + dst.copy_overhead_time(
+                    wire_bytes
+                )
+                if recv_cost > 0:
+                    yield env.timeout(recv_cost)
+                self.counters.incr("messages", mult)
+                self.counters.incr("bytes", wire_bytes)
+                if tracer is not None:
+                    op = msg.tag
+                    cut = op.find(":0x")
+                    if cut >= 0:
+                        op = op[:cut]
+                    tracer.record(
+                        f"xfer:{op}" if op else "xfer", start=t0, kind="xfer",
+                        node=msg.src, op=op or None, dst=msg.dst, bytes=wire_bytes,
+                    )
+                return msg
 
             tx_tok = tx_pipe._slot.try_acquire() if FASTPATH else None
             rx_tok = None
@@ -196,7 +246,11 @@ class Fabric:
         if recv_cost > 0:
             yield env.timeout(recv_cost)
 
-        self.counters.incr("messages")
+        # Under symmetric-client collapsing a single transfer may stand in
+        # for a whole equivalence class; the sender stamps the class size
+        # in msg.meta["mult"] so message counts stay truthful (bytes scale
+        # through the weighted size already).
+        self.counters.incr("messages", msg.meta.get("mult", 1))
         self.counters.incr("bytes", wire_bytes)
         if tracer is not None:
             # Strip hex match-bits from portals tags: those come from

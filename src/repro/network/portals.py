@@ -250,15 +250,21 @@ class PortalsEndpoint:
         pt_index: int,
         match_bits: int,
         length: Optional[int] = None,
+        wire_weight: int = 1,
     ) -> Event:
         """One-sided read from the target's match entry into local *md*.
 
         The initiator-side event fires with the fetched payload once the
         data lands locally (``REPLY_END``); the target's EQ sees
         ``GET_END``.
+
+        ``wire_weight`` (symmetric-client collapsing) makes this one pull
+        stand in for a whole equivalence class: the reply serializes
+        ``wire_weight * nbytes`` on the wire and the fabric counts it as
+        that many messages.  At 1, exactly the unweighted transfer.
         """
         return self.env.process(
-            self._get_proc(md, target_nid, pt_index, match_bits, length),
+            self._get_proc(md, target_nid, pt_index, match_bits, length, wire_weight),
             name=f"ptl_get<-{target_nid}",
         )
 
@@ -269,28 +275,31 @@ class PortalsEndpoint:
         pt_index: int,
         match_bits: int,
         length: Optional[int] = None,
+        wire_weight: int = 1,
     ):
         """:meth:`get` as a plain generator for ``yield from`` callers."""
-        return self._get_proc(md, target_nid, pt_index, match_bits, length)
+        return self._get_proc(md, target_nid, pt_index, match_bits, length, wire_weight)
 
-    def _get_proc(self, md, target_nid, pt_index, match_bits, length):
+    def _get_proc(self, md, target_nid, pt_index, match_bits, length, wire_weight=1):
         # Dispatcher, mirroring _put_proc.
         if self.env.tracer is None:
-            return self._get_inner(md, target_nid, pt_index, match_bits, length)
-        return self._get_traced(md, target_nid, pt_index, match_bits, length)
+            return self._get_inner(md, target_nid, pt_index, match_bits, length, wire_weight)
+        return self._get_traced(md, target_nid, pt_index, match_bits, length, wire_weight)
 
-    def _get_traced(self, md, target_nid, pt_index, match_bits, length):
+    def _get_traced(self, md, target_nid, pt_index, match_bits, length, wire_weight):
         tracer = self.env.tracer
         span, prev = tracer.push(
             "ptl_get", kind="bulk", node=self.node.node_id, op="get",
             src=target_nid,
         )
         try:
-            return (yield from self._get_inner(md, target_nid, pt_index, match_bits, length))
+            return (yield from self._get_inner(
+                md, target_nid, pt_index, match_bits, length, wire_weight
+            ))
         finally:
             tracer.pop(span, prev)
 
-    def _get_inner(self, md, target_nid, pt_index, match_bits, length):
+    def _get_inner(self, md, target_nid, pt_index, match_bits, length, wire_weight):
         # Request phase: a small control message carrying the descriptor.
         req = Message(
             src=self.node.node_id,
@@ -319,14 +328,18 @@ class PortalsEndpoint:
                 )
             )
 
-        # Reply phase: the bulk data flows target -> initiator.
+        # Reply phase: the bulk data flows target -> initiator.  A
+        # weighted pull serializes the whole class's data back to back
+        # (the server drains the classmates' buffers sequentially).
         reply = Message(
             src=target_nid,
             dst=self.node.node_id,
-            size=nbytes + self.HEADER_BYTES,
+            size=wire_weight * nbytes + self.HEADER_BYTES,
             tag=f"ptl_get_reply:{pt_index}:{match_bits:#x}",
             payload=me.md.payload,
         )
+        if wire_weight != 1:
+            reply.meta["mult"] = wire_weight
         yield from self.fabric.transfer_inline(reply)
         md.payload = me.md.payload
         if md.eq is not None:

@@ -284,6 +284,11 @@ class RpcClient:
                     f"{service}.{op} on node {target_node} timed out after {timeout}s"
                 )
             event = get_ev.value
+            # The reply won the race: retire the losing timer so it doesn't
+            # sit in the heap for the next `timeout` simulated seconds.  At
+            # scale these stale 30 s timers dominate the queue and tax
+            # every heap push.
+            timer.cancel()
 
         reply: RpcReply = event.payload
         if not reply.ok:

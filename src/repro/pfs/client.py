@@ -36,6 +36,11 @@ class PFSFileHandle:
     path: str
     inode: Inode
     flags: int
+    #: Background MDS process draining a collapsed class's remaining
+    #: create units (None outside symmetric-client collapsing).  Its
+    #: value, once triggered, is the sim time the class's last create
+    #: would have completed in an exact run.
+    create_tail: Optional[object] = None
 
     @property
     def layout(self) -> StripeLayout:
@@ -78,22 +83,38 @@ class SimPFSClient:
         )
 
     # -- POSIX-ish surface (all generators) ------------------------------------------
-    def create(self, path: str, stripe_count: int = 1, stripe_size: Optional[int] = None):
-        """creat(2): allocate the file at the MDS."""
+    def create(self, path: str, stripe_count: int = 1, stripe_size: Optional[int] = None,
+               weight: int = 1, ost_hint: Optional[int] = None):
+        """creat(2): allocate the file at the MDS.
+
+        ``weight`` > 1 (symmetric-client collapsing): this create stands
+        for a class of *weight* identical file-per-process creates — the
+        MDS charges CPU and journal commits for all of them but allocates
+        one inode (the representative's).  ``ost_hint`` pins the layout's
+        starting OST so weighted files tile the OSTs the way the class's
+        individual files did in the exact run.
+        """
         yield from self._vfs()
         inode = yield from self._mds(
-            "create", path=path, stripe_count=stripe_count, stripe_size=stripe_size
+            "create", path=path, stripe_count=stripe_count, stripe_size=stripe_size,
+            weight=weight, ost_hint=ost_hint,
         )
-        return PFSFileHandle(path=path, inode=inode, flags=OpenFlags.WRONLY | OpenFlags.CREAT)
+        tail = getattr(inode, "create_tail", None)
+        if tail is not None:
+            del inode.create_tail
+        return PFSFileHandle(
+            path=path, inode=inode, flags=OpenFlags.WRONLY | OpenFlags.CREAT,
+            create_tail=tail,
+        )
 
-    def open(self, path: str, flags: int = OpenFlags.RDONLY):
+    def open(self, path: str, flags: int = OpenFlags.RDONLY, weight: int = 1):
         yield from self._vfs()
-        inode = yield from self._mds("open", path=path, flags=flags)
+        inode = yield from self._mds("open", path=path, flags=flags, weight=weight)
         return PFSFileHandle(path=path, inode=inode, flags=flags)
 
-    def close(self, fh: PFSFileHandle):
+    def close(self, fh: PFSFileHandle, weight: int = 1):
         yield from self._vfs()
-        yield from self._mds("close", ino=fh.inode.ino, size=fh.inode.size)
+        yield from self._mds("close", ino=fh.inode.ino, size=fh.inode.size, weight=weight)
         return True
 
     def unlink(self, path: str):
@@ -104,17 +125,28 @@ class SimPFSClient:
             yield from self._ost(ost, "destroy", ino=inode.ino, stripe_index=idx)
         return True
 
-    def write(self, fh: PFSFileHandle, offset: int, data: Piece):
-        """pwrite(2): stripe-decompose and issue pipelined OST writes."""
+    def write(self, fh: PFSFileHandle, offset: int, data: Piece,
+              weight: int = 1, shared: bool = False):
+        """pwrite(2): stripe-decompose and issue pipelined OST writes.
+
+        ``weight`` > 1 (symmetric-client collapsing): each fragment stands
+        for *weight* clients' equivalent fragments.  ``shared`` tells the
+        OST whether those clients target the *same* object (shared-file
+        pattern — they contend on its extent lock) or each their own
+        (file-per-process — sole-writer fast path).
+        """
         total = piece_len(data)
-        window = Resource(self.env, capacity=self.config.pipeline_depth)
+        # A representative keeps the whole class's fragments in flight
+        # (the class collectively had weight * depth outstanding), so the
+        # OSTs its classmates would have kept busy stay busy.
+        window = Resource(self.env, capacity=weight * self.config.pipeline_depth)
         inflight = []
         for frag in fh.layout.map_extent(offset, total):
             piece = piece_slice(data, frag.file_offset - offset, frag.file_offset - offset + frag.length)
             req = window.request()
             yield req
             proc = self.env.process(
-                self._write_fragment(fh, frag, piece, window, req),
+                self._write_fragment(fh, frag, piece, window, req, weight, shared),
                 name=f"pfswrite:{fh.inode.ino}:{frag.file_offset}",
             )
             inflight.append(proc)
@@ -130,7 +162,7 @@ class SimPFSClient:
         self.bytes_written += total
         return total
 
-    def _write_fragment(self, fh, frag, piece, window, window_req):
+    def _write_fragment(self, fh, frag, piece, window, window_req, weight=1, shared=False):
         try:
             yield from self._vfs()
             ost = fh.layout.osts[frag.ost_index]
@@ -148,6 +180,8 @@ class SimPFSClient:
                     data_node=self.node.node_id,
                     data_bits=bits,
                     client_id=self.node.node_id,
+                    weight=weight,
+                    shared=shared,
                 )
             finally:
                 self.portals.detach(DATA_PORTAL, me)
@@ -205,12 +239,38 @@ class SimPFSClient:
         finally:
             window.release(window_req)
 
-    def fsync(self, fh: PFSFileHandle):
-        """fsync(2): flush every OST the file stripes over."""
-        for idx, ost in enumerate(fh.layout.osts):
-            yield from self._ost(ost, "sync", ino=fh.inode.ino)
-        yield from self._mds("set_size", path=fh.path, size=fh.inode.size)
+    def fsync(self, fh: PFSFileHandle, weight: int = 1):
+        """fsync(2): flush every OST the file stripes over.
+
+        One rank's fsync visits the OSTs serially; *weight* collapsed
+        ranks' serial loops overlap each other across OSTs, so the
+        representative fans the weighted syncs out concurrently — each
+        OST still serializes its ``weight`` flushes on the device, but
+        the wall time is the per-OST drain, not the sum over OSTs.
+        """
+        if weight > 1 and len(fh.layout.osts) > 1:
+            procs = [
+                self.env.process(
+                    self._fsync_ost(ost, fh.inode.ino, weight),
+                    name=f"pfsfsync:{fh.inode.ino}:{ost}",
+                )
+                for ost in fh.layout.osts
+            ]
+            yield self.env.all_of(procs)
+            for proc in procs:
+                if isinstance(proc.value, BaseException):
+                    raise proc.value
+        else:
+            for idx, ost in enumerate(fh.layout.osts):
+                yield from self._ost(ost, "sync", ino=fh.inode.ino, weight=weight)
+        yield from self._mds("set_size", path=fh.path, size=fh.inode.size, weight=weight)
         return True
+
+    def _fsync_ost(self, ost: int, ino: int, weight: int):
+        try:
+            yield from self._ost(ost, "sync", ino=ino, weight=weight)
+        except BaseException as exc:  # noqa: BLE001 - reported to parent
+            return exc
 
     def stat(self, path: str):
         yield from self._vfs()

@@ -79,15 +79,24 @@ class SimOST(_SimServerBase):
         costs = self.config.pfs
         reg = self.rpc.register
 
-        def write(ctx, ino, stripe_index, offset, length, data_node, data_bits, client_id):
-            yield from self.cpu("req", costs.ost_request_cpu)
+        def write(ctx, ino, stripe_index, offset, length, data_node, data_bits, client_id,
+                  weight=1, shared=False):
+            """``weight`` > 1 (symmetric-client collapsing): this request
+            stands for *weight* clients' equivalent fragments.  ``shared``
+            says whether those clients write the *same* object (shared
+            file: the class members contend on the extent lock among
+            themselves, so the write is forced onto the contended path
+            with *weight* ownership switches) or each their own object
+            (file-per-process: sole-writer streaming, scaled bytes)."""
+            yield from self.cpu("req", weight * costs.ost_request_cpu)
             key = (ino, stripe_index)
             self._ensure_object(key)
             owner = self._owners.get(key)
             writers = self._writers.setdefault(key, set())
             writers.add(client_id)
 
-            if len(writers) == 1 and (owner is None or owner == client_id):
+            sole = len(writers) == 1 and (owner is None or owner == client_id)
+            if sole and not (shared and weight > 1):
                 # Sole-writer fast path: identical to the LWFS discipline.
                 self._owners[key] = client_id
                 tracer = self.env.tracer
@@ -103,23 +112,30 @@ class SimOST(_SimServerBase):
                         )
                     md = MemoryDescriptor(length=length)
                     try:
-                        data = yield self.node.portals.get(md, data_node, DATA_PORTAL, data_bits)
+                        data = yield self.node.portals.get(
+                            md, data_node, DATA_PORTAL, data_bits, wire_weight=weight
+                        )
                     except BaseException:
                         self.buffers.put(length)
                         raise
-                    yield from self.device.write(length)
+                    yield from self.device.write(weight * length)
                     self.store.write(key, offset, data)
                     self.buffers.put(length)
                 return {"status": "ok", "written": length}
 
             # Contended path: extent-lock ownership must change hands.
-            self.lock_switches += 1
+            # A collapsed class writing back to back switches once per
+            # member — except the member that finds the object unowned
+            # (``sole``): it streams on the fast path before contention
+            # starts, exactly as the first writer does in an exact run.
+            switches = weight - 1 if sole else weight
+            self.lock_switches += switches
             tracer = self.env.tracer
             t_wait = self.env._now if tracer is not None else 0.0
             with self._object_lock(key).request() as obj_lock:
                 yield obj_lock
                 # Revocation callback to the previous owner + their flush.
-                yield self.env.timeout(REVOKE_LATENCY)
+                yield self.env.timeout(switches * REVOKE_LATENCY)
                 if tracer is not None:
                     # Queueing for the extent lock plus the revocation round
                     # trip — the serialization the shared-file figure shows.
@@ -128,17 +144,24 @@ class SimOST(_SimServerBase):
                         node=self.node_id, service=self.service_name,
                         resource="extent-lock",
                     )
-                yield from self.device.sync()
+                yield from self.device.sync(ops=switches)
                 self._owners[key] = client_id
                 yield self.buffers.get(length)
                 md = MemoryDescriptor(length=length)
                 try:
-                    data = yield self.node.portals.get(md, data_node, DATA_PORTAL, data_bits)
+                    data = yield self.node.portals.get(
+                        md, data_node, DATA_PORTAL, data_bits, wire_weight=weight
+                    )
                 except BaseException:
                     self.buffers.put(length)
                     raise
+                if sole:
+                    # The class's first writer: sequential stream, no RMW.
+                    yield from self.device.write(length)
                 # Interleaved partial-stripe extents: seek + RMW on media.
-                yield from self.device.write(int(length * RMW_FACTOR), seek=True)
+                yield from self.device.write(
+                    int(switches * length * RMW_FACTOR), seek=True, ops=switches
+                )
                 self.store.write(key, offset, data)
                 self.buffers.put(length)
             return {"status": "ok", "written": length}
@@ -159,8 +182,8 @@ class SimOST(_SimServerBase):
                     self.buffers.put(length)
             return {"status": "ok"}
 
-        def sync(ctx, ino=None):
-            yield from self.device.sync()
+        def sync(ctx, ino=None, weight=1):
+            yield from self.device.sync(ops=weight)
             return True
 
         def truncate(ctx, ino, stripe_index, length):

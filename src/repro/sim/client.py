@@ -75,9 +75,21 @@ class SimLWFSClient:
         return self._call(self.deployment.authz_node_id, "authz", "revoke", cid=cid, ops=ops)
 
     # -- objects ----------------------------------------------------------------
-    def create_object(self, cap: Capability, server_id: int, attrs=None, txnid: Optional[TxnID] = None):
+    def create_object(
+        self,
+        cap: Capability,
+        server_id: int,
+        attrs=None,
+        txnid: Optional[TxnID] = None,
+        weight: int = 1,
+    ):
+        """``weight`` > 1 (symmetric-client collapsing) makes this create
+        stand in for a whole equivalence class: the server charges CPU and
+        journal ops for *weight* creates but materializes one object."""
         node_id, svc = self._storage(server_id)
-        oid = yield from self._call(node_id, svc, "create", cap=cap, attrs=attrs, txnid=txnid)
+        oid = yield from self._call(
+            node_id, svc, "create", cap=cap, attrs=attrs, txnid=txnid, weight=weight
+        )
         return oid
 
     def remove_object(self, cap: Capability, oid: ObjectID, txnid: Optional[TxnID] = None):
@@ -92,9 +104,9 @@ class SimLWFSClient:
         node_id, svc = self._storage(server_id)
         return (yield from self._call(node_id, svc, "list", cap=cap, cid=cid))
 
-    def sync(self, server_id: int):
+    def sync(self, server_id: int, weight: int = 1):
         node_id, svc = self._storage(server_id)
-        return (yield from self._call(node_id, svc, "sync"))
+        return (yield from self._call(node_id, svc, "sync", weight=weight))
 
     def filter(self, cap: Capability, oid: ObjectID, offset: int, length: int,
                name: str, args: Optional[dict] = None):
@@ -115,11 +127,20 @@ class SimLWFSClient:
         data: Piece,
         offset: int = 0,
         txnid: Optional[TxnID] = None,
+        weight: int = 1,
     ):
-        """Chunked, pipelined write of *data* to *oid* at *offset*."""
+        """Chunked, pipelined write of *data* to *oid* at *offset*.
+
+        ``weight`` > 1 (symmetric-client collapsing): each chunk request
+        stands for *weight* clients' identical chunks — the server charges
+        the wire, disk, and CPU for all of them while this client posts
+        one buffer.
+        """
         total = piece_len(data)
         chunk = self.config.chunk_bytes
-        window = Resource(self.env, capacity=self.config.pipeline_depth)
+        # A representative keeps the whole class's chunks in flight: the
+        # class collectively had weight * depth outstanding requests.
+        window = Resource(self.env, capacity=weight * self.config.pipeline_depth)
         inflight = []
         pos = 0
         while pos < total:
@@ -128,7 +149,7 @@ class SimLWFSClient:
             req = window.request()
             yield req
             proc = self.env.process(
-                self._write_chunk(cap, oid, offset + pos, piece, txnid, window, req),
+                self._write_chunk(cap, oid, offset + pos, piece, txnid, window, req, weight),
                 name=f"wchunk:{oid.value}:{pos}",
             )
             inflight.append(proc)
@@ -143,16 +164,16 @@ class SimLWFSClient:
         self.bytes_written += total
         return total
 
-    def _write_chunk(self, cap, oid, offset, piece, txnid, window, window_req):
+    def _write_chunk(self, cap, oid, offset, piece, txnid, window, window_req, weight=1):
         try:
-            result = yield from self._write_chunk_inner(cap, oid, offset, piece, txnid)
+            result = yield from self._write_chunk_inner(cap, oid, offset, piece, txnid, weight)
             return result
         except BaseException as exc:  # noqa: BLE001 - reported to parent
             return exc
         finally:
             window.release(window_req)
 
-    def _write_chunk_inner(self, cap, oid, offset, piece, txnid):
+    def _write_chunk_inner(self, cap, oid, offset, piece, txnid, weight=1):
         node_id, svc = self._storage(oid.server_hint)
         length = piece_len(piece)
         if self.deployment.server_directed:
@@ -164,6 +185,7 @@ class SimLWFSClient:
                     node_id, svc, "write",
                     cap=cap, oid=oid, offset=offset, length=length,
                     data_node=self.node.node_id, data_bits=bits, txnid=txnid,
+                    weight=weight,
                 )
             finally:
                 self.portals.detach(DATA_PORTAL, me)

@@ -1,0 +1,60 @@
+"""Symmetric-client collapsing: equivalence classes of checkpoint ranks.
+
+The paper's scaling workloads (Figs. 9–10, Red Storm, petaflop) are
+perfectly symmetric: every non-root rank runs the same program against a
+server chosen by a placement rule, with only its offset and data seed
+differing.  Simulating all N of them repeats the same work N times.
+Burst-buffer and object-store simulators at scale exploit exactly this
+symmetry; we do the same — simulate **one representative per equivalence
+class** and apply the class size as a *multiplicity weight* wherever the
+class members would have charged a shared resource (server CPU, device
+bytes, wire serialization of bulk pulls, revocation rounds).
+
+Per-client-parallel costs (the client's own VFS/host time) and buffer
+*reservations* are deliberately **not** weighted: the former happen
+concurrently across real clients, and weighting the latter could exceed
+the buffer pool's capacity and deadlock the representative.
+
+Rank 0 is always its own singleton class — it plays the root role in
+every rooted collective and runs extra protocol (txn begin/commit,
+metadata object, shared-file create).
+
+With every class of size 1 the collapsed run is *bit-identical* to the
+exact run; with larger classes the aggregate figures match within a
+small tolerance (jitter draws collapse m per-op draws into one).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Tuple
+
+__all__ = ["collapse_plan", "plan_stats"]
+
+
+def collapse_plan(
+    n_ranks: int, key_fn: Callable[[int], Hashable]
+) -> List[Tuple[int, int]]:
+    """Group ranks into equivalence classes by ``key_fn(rank)``.
+
+    Returns ``[(representative_rank, multiplicity), ...]`` sorted by
+    representative (the lowest rank of each class), suitable for
+    :class:`repro.parallel.app.ParallelApp`'s ``collapse`` argument.
+    Rank 0 is forced into its own class regardless of its key.
+    """
+    if n_ranks <= 0:
+        raise ValueError("n_ranks must be positive")
+    groups: Dict[Hashable, List[int]] = {}
+    for rank in range(n_ranks):
+        key = ("__root__",) if rank == 0 else ("k", key_fn(rank))
+        groups.setdefault(key, []).append(rank)
+    return sorted((ranks[0], len(ranks)) for ranks in groups.values())
+
+
+def plan_stats(plan: List[Tuple[int, int]]) -> Dict[str, int]:
+    """Summary numbers for one collapse plan (for trial records/logs)."""
+    mults = [mult for _, mult in plan]
+    return {
+        "ranks_simulated": len(plan),
+        "ranks_represented": sum(mults),
+        "max_multiplicity": max(mults),
+    }

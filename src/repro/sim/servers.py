@@ -336,10 +336,13 @@ class SimStorageServer(_SimServerBase):
         costs = self.config.lwfs
         reg = self.rpc.register
 
-        def create(ctx, cap, attrs=None, txnid=None):
+        def create(ctx, cap, attrs=None, txnid=None, weight=1):
+            # ``weight`` > 1: this create stands for a whole collapsed
+            # equivalence class — charge CPU and journal ops for all of
+            # them, materialize one object (the representative's).
             yield from self._authorize(cap, OpMask.CREATE)
-            yield from self.cpu("create", costs.create_obj_cpu)
-            yield from self.device.meta_op()
+            yield from self.cpu("create", weight * costs.create_obj_cpu)
+            yield from self.device.meta_op(ops=weight)
             return self.svc.create_object(cap, attrs=attrs, txnid=txnid)
 
         def remove(ctx, cap, oid, txnid=None):
@@ -349,13 +352,20 @@ class SimStorageServer(_SimServerBase):
             self.svc.remove_object(cap, oid, txnid=txnid)
             return True
 
-        def write(ctx, cap, oid, offset, length, data_node=None, data_bits=None, data=None, txnid=None):
+        def write(ctx, cap, oid, offset, length, data_node=None, data_bits=None, data=None,
+                  txnid=None, weight=1):
             """One bulk write.  Server-directed: ``data`` is None and the
             server pulls from the client's (data_node, data_bits) match
             entry when resources allow.  Client-push ablation: ``data``
-            rode along with the request."""
+            rode along with the request.
+
+            ``weight`` > 1 (collapsing): the request stands for *weight*
+            clients' identical chunks — the pull serializes weight*length
+            on the wire and the disk streams weight*length bytes, but the
+            buffer reservation stays per-chunk (real clients' pulls
+            recycle the same pinned buffer back to back)."""
             yield from self._authorize(cap, OpMask.WRITE, self._cid_of(oid))
-            yield from self.cpu("write_req", costs.request_cpu)
+            yield from self.cpu("write_req", weight * costs.request_cpu)
 
             if data is None and not self.server_directed:
                 raise NetworkError("push-mode server got no inline data")
@@ -383,7 +393,7 @@ class SimStorageServer(_SimServerBase):
                     md = MemoryDescriptor(length=length)
                     try:
                         data = yield from self.node.portals.get_inline(
-                            md, data_node, DATA_PORTAL, data_bits
+                            md, data_node, DATA_PORTAL, data_bits, wire_weight=weight
                         )
                     except BaseException:
                         self.buffers.put(length)
@@ -395,7 +405,7 @@ class SimStorageServer(_SimServerBase):
                         # Buffer exhaustion: reject; client must resend.
                         self.rejected_requests += 1
                         return {"status": "again"}
-                yield from self.device.write(length)
+                yield from self.device.write(weight * length)
                 self.svc.write(cap, oid, offset, data, txnid=txnid)
                 self.buffers.put(length)
             return {"status": "ok", "written": length}
@@ -424,8 +434,8 @@ class SimStorageServer(_SimServerBase):
                     self.buffers.put(length)
             return {"status": "ok", "length": length}
 
-        def sync(ctx):
-            yield from self.device.sync()
+        def sync(ctx, weight=1):
+            yield from self.device.sync(ops=weight)
             return True
 
         def filter_object(ctx, cap, oid, offset, length, name, args=None):

@@ -3,12 +3,32 @@
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from typing import Any, Generator, Iterable, Optional
 
 from .events import NORMAL, PENDING, AllOf, AnyOf, Event, Timeout
 from .process import Process
 
-__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+__all__ = ["Environment", "EmptySchedule", "StopSimulation", "LAZY"]
+
+#: When true (default), the kernel runs with its scale-out machinery on:
+#: zero-delay events bypass the heap through per-priority FIFO deques
+#: (batched same-timestamp scheduling), cancelled :class:`Timeout` objects
+#: are recycled through a free list, and the heap is compacted once
+#: tombstoned entries dominate it.  Simulated timestamps are bit-identical
+#: to the reference path.  Set ``REPRO_KERNEL_LAZY=0`` to force the
+#: plain-heap reference path (used by the equivalence tests).  Cancelled
+#: events are skipped at pop in *both* modes — cancellation is semantics,
+#: not an optimization, so its behavior cannot depend on the flag.
+LAZY = os.environ.get("REPRO_KERNEL_LAZY", "1") != "0"
+
+#: Retired Timeout objects kept for reuse per environment.
+_POOL_MAX = 1024
+
+#: Compact the heap when at least this many tombstones are pending *and*
+#: they outnumber the live entries (amortized O(1) per cancellation).
+_COMPACT_MIN = 64
 
 
 class EmptySchedule(Exception):
@@ -26,15 +46,37 @@ class Environment:
     Determinism: events scheduled for the same time and priority are
     processed in scheduling order (FIFO), so repeated runs with the same
     seed produce identical traces.
+
+    Internally the schedule is a heap of ``(time, priority, seq, event)``
+    tuples plus — in lazy mode — two FIFO deques for zero-delay events
+    (one per priority).  A zero-delay event's entry time always equals the
+    current clock, and ``seq`` is global and monotonic, so popping the
+    tuple-minimum across the three structures reproduces the pure-heap
+    order exactly while skipping the O(log n) sift for the dominant class
+    of events (every ``succeed()``, process init/finish, interrupt).
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, lazy: Optional[bool] = None) -> None:
         self._now: float = initial_time
         self._queue: list = []  # heap of (time, priority, seq, event)
         self._seq: int = 0
         self._active_process: Optional[Process] = None
+        self._lazy: bool = LAZY if lazy is None else bool(lazy)
+        #: FIFO side-queues for zero-delay events (lazy mode only).
+        self._imm_urgent: deque = deque()
+        self._imm_normal: deque = deque()
+        #: Free list of retired Timeout objects (lazy mode only).
+        self._timeout_pool: list = []
+        #: Tombstoned entries still sitting in the schedule.
+        self._cancelled_pending: int = 0
         #: Total events popped off the queue (perf / determinism probe).
         self.events_processed: int = 0
+        #: Cancelled events discarded without running callbacks.
+        self.events_skipped_cancelled: int = 0
+        #: Total :meth:`Event.cancel` calls that tombstoned an event.
+        self.events_cancelled: int = 0
+        #: Timeout objects served from the free list instead of allocated.
+        self.timeouts_recycled: int = 0
         self._peak_queue: int = 0
         #: Optional :class:`repro.trace.Tracer`; ``None`` keeps every
         #: instrumentation site down to a single attribute check.
@@ -53,12 +95,20 @@ class Environment:
 
     @property
     def peak_queue_len(self) -> int:
-        """Largest event-queue depth seen so far."""
-        return max(self._peak_queue, len(self._queue))
+        """Largest event-queue depth seen so far (heap + immediate FIFOs)."""
+        return max(self._peak_queue, self._qlen())
+
+    def _qlen(self) -> int:
+        return len(self._queue) + len(self._imm_urgent) + len(self._imm_normal)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        t = self._queue[0][0] if self._queue else float("inf")
+        if self._imm_urgent and self._imm_urgent[0][0] < t:
+            t = self._imm_urgent[0][0]
+        if self._imm_normal and self._imm_normal[0][0] < t:
+            t = self._imm_normal[0][0]
+        return t
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
@@ -71,22 +121,37 @@ class Environment:
         Timeouts dominate the event mix of a simulation, so this is a
         slots-only fast constructor: it fills the :class:`Timeout` fields
         and pushes the queue entry directly instead of going through
-        ``Timeout.__init__`` → ``Event.__init__`` → ``_schedule``.
+        ``Timeout.__init__`` → ``Event.__init__`` → ``_schedule``.  In
+        lazy mode the object may come off the environment's free list of
+        cancelled timeouts rather than a fresh allocation.
         """
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        event = Timeout.__new__(Timeout)
-        event.env = self
-        event.callbacks = []
+        pool = self._timeout_pool
+        if pool:
+            event = pool.pop()
+            event.callbacks = []
+            event._defused = False
+            event._cancelled = False
+            self.timeouts_recycled += 1
+        else:
+            event = Timeout.__new__(Timeout)
+            event.env = self
+            event.callbacks = []
+            event._defused = False
+            event._cancelled = False
         event._value = value
         event._ok = True
-        event._defused = False
         event.delay = delay
+        event.at = at = self._now + delay
         self._seq = seq = self._seq + 1
-        queue = self._queue
-        heapq.heappush(queue, (self._now + delay, NORMAL, seq, event))
-        if len(queue) > self._peak_queue:
-            self._peak_queue = len(queue)
+        if delay == 0.0 and self._lazy:
+            self._imm_normal.append((at, NORMAL, seq, event))
+        else:
+            heapq.heappush(self._queue, (at, NORMAL, seq, event))
+        qlen = self._qlen()
+        if qlen > self._peak_queue:
+            self._peak_queue = qlen
         return event
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
@@ -105,10 +170,86 @@ class Environment:
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Insert *event* into the queue ``delay`` seconds from now."""
         self._seq = seq = self._seq + 1
+        if delay == 0.0 and self._lazy:
+            entry = (self._now, priority, seq, event)
+            if priority == 0:  # URGENT
+                self._imm_urgent.append(entry)
+            else:
+                self._imm_normal.append(entry)
+        else:
+            heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
+        qlen = self._qlen()
+        if qlen > self._peak_queue:
+            self._peak_queue = qlen
+
+    def _on_cancel(self) -> None:
+        """Bookkeeping for :meth:`Event.cancel` (tombstone accounting)."""
+        self.events_cancelled += 1
+        self._cancelled_pending += 1
+        if (
+            self._lazy
+            and self._cancelled_pending >= _COMPACT_MIN
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries and re-heapify (in place: the run loop
+        holds direct references to the queue list and deques)."""
+        pool = self._timeout_pool
+        skipped = 0
+        keep = []
+        for entry in self._queue:
+            event = entry[3]
+            if event._cancelled:
+                skipped += 1
+                self._retire(event, pool)
+            else:
+                keep.append(entry)
+        heapq.heapify(keep)
+        self._queue[:] = keep
+        for dq in (self._imm_urgent, self._imm_normal):
+            if not dq:
+                continue
+            live = [entry for entry in dq if not entry[3]._cancelled]
+            if len(live) != len(dq):
+                for entry in dq:
+                    if entry[3]._cancelled:
+                        skipped += 1
+                        self._retire(entry[3], pool)
+                dq.clear()
+                dq.extend(live)
+        self.events_skipped_cancelled += skipped
+        self._cancelled_pending = 0
+
+    def _retire(self, event: Event, pool: list) -> None:
+        """Mark a cancelled event dead; recycle Timeouts via the free list."""
+        event.callbacks = None
+        if self._lazy and type(event) is Timeout and len(pool) < _POOL_MAX:
+            event._value = None  # don't pin payloads while pooled
+            pool.append(event)
+
+    def _pop_entry(self):
+        """Pop the globally-minimum (time, priority, seq, event) entry."""
         queue = self._queue
-        heapq.heappush(queue, (self._now + delay, priority, seq, event))
-        if len(queue) > self._peak_queue:
-            self._peak_queue = len(queue)
+        imm_u = self._imm_urgent
+        imm_n = self._imm_normal
+        if imm_u or imm_n:
+            best = queue[0] if queue else None
+            pick = None
+            if imm_u and (best is None or imm_u[0] < best):
+                best = imm_u[0]
+                pick = imm_u
+            if imm_n and (best is None or imm_n[0] < best):
+                best = imm_n[0]
+                pick = imm_n
+            if pick is None:
+                return heapq.heappop(queue)
+            pick.popleft()
+            return best
+        if not queue:
+            raise EmptySchedule()
+        return heapq.heappop(queue)
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -117,9 +258,13 @@ class Environment:
         re-raises un-defused event failures (crashing the simulation, which
         is what you want for an unhandled error in a background process).
         """
-        if not self._queue:
-            raise EmptySchedule()
-        self._now, _prio, _seq, event = heapq.heappop(self._queue)
+        while True:
+            self._now, _prio, _seq, event = self._pop_entry()
+            if not event._cancelled:
+                break
+            self.events_skipped_cancelled += 1
+            self._cancelled_pending -= 1
+            self._retire(event, self._timeout_pool)
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -161,13 +306,40 @@ class Environment:
         # The drain loop below is `step()` inlined: the per-event method
         # call and attribute lookups are measurable at ~10^5 events/run.
         queue = self._queue
+        imm_u = self._imm_urgent
+        imm_n = self._imm_normal
+        pool = self._timeout_pool
+        recycle = self._lazy
         heappop = heapq.heappop
         processed = self.events_processed
         try:
             while True:
-                if not queue:
-                    raise EmptySchedule()
-                self._now, _prio, _seq, event = heappop(queue)
+                if imm_u or imm_n:
+                    entry = queue[0] if queue else None
+                    pick = None
+                    if imm_u and (entry is None or imm_u[0] < entry):
+                        entry = imm_u[0]
+                        pick = imm_u
+                    if imm_n and (entry is None or imm_n[0] < entry):
+                        entry = imm_n[0]
+                        pick = imm_n
+                    if pick is None:
+                        entry = heappop(queue)
+                    else:
+                        pick.popleft()
+                    self._now, _prio, _seq, event = entry
+                else:
+                    if not queue:
+                        raise EmptySchedule()
+                    self._now, _prio, _seq, event = heappop(queue)
+                if event._cancelled:
+                    self.events_skipped_cancelled += 1
+                    self._cancelled_pending -= 1
+                    event.callbacks = None
+                    if recycle and type(event) is Timeout and len(pool) < _POOL_MAX:
+                        event._value = None
+                        pool.append(event)
+                    continue
                 processed += 1
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:

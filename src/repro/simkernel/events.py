@@ -58,7 +58,7 @@ class Event:
     Callbacks are callables taking the event as their only argument.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_cancelled")
 
     def __init__(self, env: "Environment") -> None:  # noqa: F821
         self.env = env
@@ -67,6 +67,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused: bool = False
+        self._cancelled: bool = False
 
     # -- state ------------------------------------------------------------
     @property
@@ -101,6 +102,36 @@ class Event:
     def defuse(self) -> None:
         """Mark a failed event as handled so the environment won't raise."""
         self._defused = True
+
+    @property
+    def cancelled(self) -> bool:
+        """``True`` if the event was retired before its callbacks ran."""
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Retire a *scheduled* event so its callbacks never run.
+
+        The queue entry stays put — removing it would cost a heap re-sift —
+        but the event is tombstoned and silently discarded when it reaches
+        the front of the queue.  Used for the losing arm of timeout races
+        (e.g. an RPC whose reply arrived before the 30 s timer): without
+        cancellation those stale timers pile up in the heap and tax every
+        subsequent push.
+
+        Returns ``True`` if the event will now never fire, ``False`` if it
+        was already processed (cancelling is then a no-op).  Contract:
+        after a successful cancel the caller must drop its references —
+        cancelled :class:`Timeout` objects may be recycled by the kernel.
+        """
+        if self.callbacks is None:
+            return False
+        if self._cancelled:
+            return True
+        if self._value is PENDING:
+            raise RuntimeError(f"cannot cancel {self!r}: not scheduled yet")
+        self._cancelled = True
+        self.env._on_cancel()
+        return True
 
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
@@ -144,30 +175,35 @@ class Event:
         return Condition(self.env, Condition.any_events, [self, other])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = (
-            "processed"
-            if self.processed
-            else ("triggered" if self.triggered else "pending")
-        )
+        if self._cancelled:
+            state = "cancelled"
+        elif self.processed:
+            state = "processed"
+        else:
+            state = "triggered" if self.triggered else "pending"
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
 class Timeout(Event):
     """An event that fires after a fixed delay of simulated time."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "at")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         super().__init__(env)
         self.delay = delay
+        #: Absolute simulated time this timeout is scheduled to fire.
+        self.at = env.now + delay
         self._ok = True
         self._value = value
         env._schedule(self, delay=delay)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Timeout delay={self.delay!r}>"
+        if self._cancelled:
+            return f"<Timeout cancelled at={self.at!r} delay={self.delay!r}>"
+        return f"<Timeout at={self.at!r} delay={self.delay!r}>"
 
 
 class ConditionValue:

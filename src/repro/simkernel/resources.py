@@ -100,6 +100,7 @@ class Resource:
         request._value = request
         request._ok = True
         request._defused = False
+        request._cancelled = False
         request.resource = self
         self._users.add(request)
         return request

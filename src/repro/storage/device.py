@@ -72,7 +72,7 @@ class RaidDevice:
                 )
 
     # -- operations (generators) -------------------------------------------------
-    def write(self, nbytes: int, seek: bool = False):
+    def write(self, nbytes: int, seek: bool = False, ops: int = 1):
         """Stream *nbytes* to the device: ``yield from device.write(n)``.
 
         ``seek=True`` charges a positioning cost first.  Streaming
@@ -80,6 +80,11 @@ class RaidDevice:
         and elevator absorb positioning for bulk sequential-per-object
         traffic; consistency-forced flushes (lock ping-pong in the
         shared-file baseline) pass ``True`` explicitly.
+
+        ``ops`` is the number of logical operations this call stands for
+        (symmetric-client collapsing): the caller pre-scales *nbytes* by
+        the class size, and ``ops`` scales the per-op seek count to match.
+        At ``ops=1`` this is exactly the unweighted path.
         """
         if nbytes < 0:
             raise ValueError("nbytes cannot be negative")
@@ -90,7 +95,7 @@ class RaidDevice:
             )
         duration = nbytes / self.spec.bandwidth
         if seek:
-            duration += self._cost(self.spec.seek_time, "seek")
+            duration += ops * self._cost(self.spec.seek_time, "seek")
         if nbytes:
             duration = self._cost(duration, "write")
         yield from self._busy(duration, op="write", nbytes=nbytes)
@@ -105,21 +110,26 @@ class RaidDevice:
             duration += self._cost(self.spec.seek_time, "seek")
         yield from self._busy(duration, op="read", nbytes=nbytes)
 
-    def sync(self):
-        """Flush the write-back cache (fsync)."""
-        yield from self._busy(self._cost(self.spec.sync_time, "sync"), op="sync")
+    def sync(self, ops: int = 1):
+        """Flush the write-back cache (fsync).
 
-    def meta_op(self):
+        ``ops`` flushes back to back (collapsed equivalence class); one
+        jittered cost is drawn and scaled, so ``ops=1`` is the exact path.
+        """
+        yield from self._busy(ops * self._cost(self.spec.sync_time, "sync"), op="sync")
+
+    def meta_op(self, ops: int = 1):
         """A metadata-touching device operation (create/remove/setattr).
 
         Serialized against other metadata ops (one journal), but not
-        against bulk data transfers.
+        against bulk data transfers.  ``ops`` scales the cost for
+        collapsed equivalence classes, like :meth:`sync`.
         """
         tracer = self.env.tracer
         t_request = self.env._now if tracer is not None else 0.0
         with self._meta_lane.request() as req:
             yield req
-            duration = self._cost(self.spec.meta_op_time, "meta")
+            duration = ops * self._cost(self.spec.meta_op_time, "meta")
             start = self.env.now
             yield self.env.timeout(duration)
             self.busy_time += self.env.now - start

@@ -18,6 +18,7 @@ def kernel_stats(env) -> Dict[str, float]:
     """Uniform simkernel statistics for one environment."""
     return {
         "events_processed": env.events_processed,
+        "events_skipped_cancelled": env.events_skipped_cancelled,
         "peak_event_queue": env.peak_queue_len,
         "sim_seconds": env.now,
     }
