@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick trace-quick scale-quick
+.PHONY: test bench bench-quick trace-quick scale-quick flow-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +25,14 @@ scale-quick:
 	$(PYTHON) benchmarks/check_kernel_perf.py
 	$(PYTHON) -m repro checkpoint --impl lustre-fpp --clients 64 --servers 16 \
 		--state-mb 16 --collapse
+
+# Flow-level smoke: the flow accuracy grid run exact and fluid, failing
+# if any point's figure of merit drifts more than 1%; then the kernel
+# events/s guard in the same job so a flow-engine slowdown on the exact
+# path cannot hide behind the fluid one.
+flow-quick:
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m repro.bench.executor --jobs 2 --check-flow
+	$(PYTHON) benchmarks/check_kernel_perf.py
 
 # One traced checkpoint trial: phase report, timeline, and Chrome trace
 # JSON (results/trace_quick.json), schema-validated.

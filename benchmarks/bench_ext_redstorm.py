@@ -18,7 +18,8 @@ the wall-clock cost.
 import time
 
 from repro.bench import format_rows, run_checkpoint_trial, run_create_trial, save_json
-from repro.machine import red_storm
+from repro.bench.executor import checkpoint_spec, run_sweep
+from repro.machine import dev_cluster, red_storm
 from repro.sim import SimConfig
 from repro.units import MiB
 
@@ -35,8 +36,17 @@ COLLAPSE_REL_TOL = 0.02
 #: Measured: 3.1x (lwfs), 3.2x (fpp), 43.8x (shared).
 COLLAPSE_MIN_SPEEDUP = 3.0
 
+#: Flow-vs-exact tolerance on per-client bandwidth (both slices).
+#: Measured: <=0.2% everywhere.
+FLOW_REL_TOL = 0.01
+#: Flow mode must buy at least this wall-clock factor on the bulky dump.
+#: Measured: 8.0x (lwfs), with ~12x fewer kernel events.
+FLOW_MIN_SPEEDUP = 5.0
+#: The steady-state regime the flow engine targets: 64 chunks per rank.
+FLOW_STATE = 256 * MiB
 
-def _row(impl, fn=run_checkpoint_trial, collapse=False, **kw):
+
+def _row(impl, fn=run_checkpoint_trial, collapse=False, flow=False, **kw):
     spec = red_storm()
     start = time.perf_counter()
     result = fn(
@@ -47,6 +57,7 @@ def _row(impl, fn=run_checkpoint_trial, collapse=False, **kw):
         config=SimConfig(seed=91),
         seed=91,
         collapse=collapse,
+        flow=flow,
         **kw,
     )
     wall = time.perf_counter() - start
@@ -63,7 +74,9 @@ def _row(impl, fn=run_checkpoint_trial, collapse=False, **kw):
             "value": round(result.extra["creates_per_s"]),
         }
     row["collapse"] = collapse
+    row["flow"] = flow
     row["wall_s"] = round(wall, 3)
+    row["events"] = result.extra.get("events_processed")
     if collapse:
         row["ranks_simulated"] = result.extra.get("ranks_simulated")
         row["max_multiplicity"] = result.extra.get("max_multiplicity")
@@ -128,3 +141,97 @@ def test_redstorm_slice(benchmark):
         assert rel <= COLLAPSE_REL_TOL, (impl, c["value"], exact["value"])
         assert c["ranks_simulated"] < N_CLIENTS // 2
         assert speedup >= COLLAPSE_MIN_SPEEDUP, (impl, speedup)
+
+
+def _flow_specs(flow, collapse=False):
+    """Red Storm bulky-dump specs, recorded through the sweep executor so
+    the exact/flow pairs land in BENCH_sweep.json with wall clock and
+    kernel event counts."""
+    spec = red_storm()
+    return [
+        checkpoint_spec(
+            impl, N_CLIENTS, N_SERVERS, seed=91,
+            spec=spec, config=SimConfig(seed=91),
+            state_bytes=FLOW_STATE, flow=flow, collapse=collapse,
+        )
+        for impl in ("lwfs", "lustre-fpp")
+    ]
+
+
+def test_flow_level_accuracy_and_speedup(benchmark):
+    """The flow engine's headline contract, at the paper's target scale:
+
+    * per-client bandwidth within FLOW_REL_TOL of the exact chunked run
+      on both machine models (dev-cluster slice, 128-client Red Storm);
+    * at least FLOW_MIN_SPEEDUP x less wall clock on the bulky dump;
+    * multiplicative with symmetric-client collapsing.
+    """
+
+    def sweep():
+        # Red Storm 128-client slice, exact vs flow, via the executor so
+        # both sweeps are recorded in BENCH_sweep.json.
+        exact = run_sweep(
+            _flow_specs(False), jobs=1, label="redstorm-flow-exact", cache=False
+        )
+        flowed = run_sweep(
+            _flow_specs(True), jobs=1, label="redstorm-flow", cache=False
+        )
+        both = run_sweep(
+            _flow_specs(True, collapse=True), jobs=1,
+            label="redstorm-flow-collapse", cache=False,
+        )
+
+        # Dev-cluster slice: same accuracy envelope on the slow machine.
+        dev = {}
+        for flow in (False, True):
+            result = run_checkpoint_trial(
+                "lwfs", 16, 8, spec=dev_cluster(), config=SimConfig(seed=91),
+                seed=91, state_bytes=FLOW_STATE, flow=flow,
+            )
+            dev[flow] = result.throughput_mb_s
+        return exact, flowed, both, dev
+
+    exact, flowed, both, dev = run_once(benchmark, sweep)
+
+    rows = []
+    for e, f, b in zip(exact, flowed, both):
+        rel = abs(f.value - e.value) / e.value
+        speedup = e.wall_clock_s / f.wall_clock_s
+        combined = e.wall_clock_s / b.wall_clock_s
+        rows.append({
+            "impl": e.spec.impl,
+            "exact MB/s": round(e.value, 1),
+            "flow MB/s": round(f.value, 1),
+            "rel": round(rel, 5),
+            "flow speedup": round(speedup, 1),
+            "flow+collapse speedup": round(combined, 1),
+            "events": f"{e.events_processed} -> {f.events_processed}",
+        })
+    dev_rel = abs(dev[True] - dev[False]) / dev[False]
+    rows.append({
+        "impl": "lwfs (dev-cluster 16/8)",
+        "exact MB/s": round(dev[False], 1),
+        "flow MB/s": round(dev[True], 1),
+        "rel": round(dev_rel, 5),
+        "flow speedup": None,
+        "flow+collapse speedup": None,
+        "events": None,
+    })
+    print()
+    print(format_rows(
+        f"Extension — flow-level engine ({N_CLIENTS} clients, "
+        f"{FLOW_STATE // MiB} MiB/rank)", rows,
+    ))
+    save_json("ext_flow", rows)
+
+    assert dev_rel <= FLOW_REL_TOL, (dev[True], dev[False])
+    for e, f, b in zip(exact, flowed, both):
+        rel = abs(f.value - e.value) / e.value
+        assert rel <= FLOW_REL_TOL, (e.spec.impl, f.value, e.value)
+        speedup = e.wall_clock_s / f.wall_clock_s
+        assert speedup >= FLOW_MIN_SPEEDUP, (e.spec.impl, speedup)
+        # Collapsing multiplies on top: fewer ranks AND fewer events per
+        # rank.  The combined run must beat flow alone.
+        assert b.wall_clock_s < f.wall_clock_s, (e.spec.impl,)
+        assert f.events_processed < e.events_processed // 5
+        assert b.events_processed < f.events_processed

@@ -86,6 +86,9 @@ def trial_key(spec) -> str:
         # cache lines so a regression can never masquerade as a hit.
         "fastpath": os.environ.get("REPRO_FABRIC_FASTPATH", "1"),
         "lazy": os.environ.get("REPRO_KERNEL_LAZY", "1"),
+        # REPRO_FLOW overrides the ``flow`` trial param in either
+        # direction, so it must be part of the identity too.
+        "flow": os.environ.get("REPRO_FLOW", ""),
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -384,6 +384,27 @@ def _quick_grid() -> List[TrialSpec]:
     return specs
 
 
+def _flow_grid(flow: bool) -> List[TrialSpec]:
+    """The flow accuracy gate: bulky dumps (> 2 chunks per rank), so the
+    steady-state middle actually rides the flow engine, run with the flag
+    both ways at otherwise identical points."""
+    from ..units import MiB
+
+    specs: List[TrialSpec] = []
+    for impl in ("lwfs", "lustre-fpp"):
+        for n, m in ((4, 2), (8, 4)):
+            specs.append(
+                checkpoint_spec(
+                    impl, n, m, seed=300, state_bytes=32 * MiB, flow=flow
+                )
+            )
+    return specs
+
+
+#: Flow-vs-exact gate: maximum relative error on the figure of merit.
+FLOW_REL_TOL = 0.01
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """``python -m repro.bench.executor``: smoke-run the parallel sweep.
 
@@ -412,6 +433,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--check-cache", action="store_true",
         help="re-run the sweep warm and require identical results from cache hits",
+    )
+    parser.add_argument(
+        "--check-flow", action="store_true",
+        help="run the flow accuracy grid exact and flow-level and require "
+             f"relative error <= {FLOW_REL_TOL:.0%} at every point",
     )
     args = parser.parse_args(argv)
 
@@ -450,6 +476,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"cache ok: {warm_hits}/{len(specs)} warm hits, identical aggregates, "
             f"{wall:.2f}s cold vs {warm_wall:.2f}s warm ({ratio:.1f}x)"
+        )
+
+    if args.check_flow:
+        exact = run_sweep(
+            _flow_grid(False), jobs=jobs, label="flow-gate-exact", cache=cache
+        )
+        flowed = run_sweep(
+            _flow_grid(True), jobs=jobs, label="flow-gate-flow", cache=cache
+        )
+        worst = 0.0
+        bad = []
+        for e, f in zip(exact, flowed):
+            rel = abs(f.value - e.value) / e.value if e.value else 0.0
+            worst = max(worst, rel)
+            if rel > FLOW_REL_TOL:
+                bad.append((e.spec.key(), e.value, f.value, rel))
+        ev_exact = sum(o.events_processed for o in exact)
+        ev_flow = sum(o.events_processed for o in flowed)
+        if bad:
+            for key, ev, fv, rel in bad:
+                print(f"FLOW DRIFT {key}: exact={ev:.3f} flow={fv:.3f} rel={rel:.4f}")
+            print(f"flow gate FAILED: {len(bad)} points over {FLOW_REL_TOL:.0%}")
+            return 1
+        ratio = ev_exact / ev_flow if ev_flow else float("inf")
+        print(
+            f"flow gate ok: {len(flowed)} points within {FLOW_REL_TOL:.0%} "
+            f"(worst {worst:.4%}), {ev_exact} -> {ev_flow} events ({ratio:.1f}x fewer)"
         )
 
     if args.check_determinism:

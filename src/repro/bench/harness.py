@@ -85,11 +85,14 @@ def _build(
     config: Optional[SimConfig] = None,
     collapse: bool = False,
     collapse_state_bytes: int = 0,
+    flow: bool = False,
     **deploy_kwargs,
 ):
     spec = spec or dev_cluster()
     config = config or SimConfig()
     config = replace(config, seed=seed)
+    if flow:
+        config = replace(config, flow=True)
     cluster = SimCluster(
         spec,
         config,
@@ -131,6 +134,7 @@ def run_checkpoint_trial(
     config: Optional[SimConfig] = None,
     trace: bool = False,
     collapse: bool = False,
+    flow: bool = False,
     **deploy_kwargs,
 ) -> TrialResult:
     """One full checkpoint (setup once + one dump), Figure 9 workload.
@@ -143,10 +147,16 @@ def run_checkpoint_trial(
     ``collapse=True`` simulates one representative per symmetric client
     class (see :mod:`repro.sim.collapse`) — same aggregate figures within
     jitter tolerance, far fewer simulated processes.
+
+    ``flow=True`` rides the fluid flow engine for the steady-state middle
+    of each bulk stream (see :mod:`repro.network.flow`) — within 1% of the
+    exact chunked timings, far fewer kernel events.  ``REPRO_FLOW=0``
+    overrides it back to the exact path.
     """
     cluster, deployment, checkpointer, app = _build(
         impl, n_clients, n_servers, seed, spec, config,
-        collapse=collapse, collapse_state_bytes=state_bytes, **deploy_kwargs
+        collapse=collapse, collapse_state_bytes=state_bytes, flow=flow,
+        **deploy_kwargs
     )
     tracer = _maybe_trace(cluster, trace)
 
@@ -187,11 +197,13 @@ def run_create_trial(
     config: Optional[SimConfig] = None,
     trace: bool = False,
     collapse: bool = False,
+    flow: bool = False,
     **deploy_kwargs,
 ) -> TrialResult:
     """Create-only phase (Figure 10 workload): empty objects/files."""
     cluster, deployment, checkpointer, app = _build(
-        impl, n_clients, n_servers, seed, spec, config, collapse=collapse, **deploy_kwargs
+        impl, n_clients, n_servers, seed, spec, config,
+        collapse=collapse, flow=flow, **deploy_kwargs
     )
     tracer = _maybe_trace(cluster, trace)
 

@@ -56,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
     point.add_argument("--collapse", action="store_true",
                        help="simulate one representative per symmetric client class "
                             "(weighted resources; far fewer processes)")
+    point.add_argument("--flow", action="store_true",
+                       help="flow-level bulk transfers: fluid fair-share streams for "
+                            "the steady-state middle of each dump (REPRO_FLOW=0 "
+                            "overrides back to the exact chunked path)")
 
     create = sub.add_parser("create", help="one Fig. 10 point (creates/s)")
     create.add_argument("--impl", default="lwfs", choices=["lwfs", "lustre-fpp"])
@@ -175,7 +179,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_checkpoint_trial(
             args.impl, args.clients, args.servers,
             state_bytes=args.state_mb * MiB, seed=args.seed,
-            trace=args.trace is not None, collapse=args.collapse,
+            trace=args.trace is not None, collapse=args.collapse, flow=args.flow,
         )
         collapsed = ""
         if args.collapse:

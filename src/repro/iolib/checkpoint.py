@@ -320,7 +320,9 @@ class LWFSCheckpointer:
         attempt = 0
         while True:
             try:
-                state = yield from client.read(self.cap, oid, 0, payload["size"])
+                state = yield from client.read(
+                    self.cap, oid, 0, payload["size"], weight=ctx.multiplicity
+                )
                 break
             except Exception:
                 attempt += 1
@@ -468,16 +470,17 @@ class PFSCheckpointer:
     def restart(self, ctx: RankContext, path: str):
         client = self.client(ctx)
         start = ctx.env.now
+        mult = ctx.multiplicity
         if self.mode == "file-per-process":
-            fh = yield from client.open(f"{path}.rank{ctx.rank}")
+            fh = yield from client.open(f"{path}.rank{ctx.rank}", weight=mult)
             size = fh.inode.size
-            state = yield from client.read(fh, 0, size)
-            yield from client.close(fh)
+            state = yield from client.read(fh, 0, size, weight=mult)
+            yield from client.close(fh, weight=mult)
         else:
-            fh = yield from client.open(path)
+            fh = yield from client.open(path, weight=mult)
             size = fh.inode.size // ctx.size
-            state = yield from client.read(fh, ctx.rank * size, size)
-            yield from client.close(fh)
+            state = yield from client.read(fh, ctx.rank * size, size, weight=mult)
+            yield from client.close(fh, weight=mult)
         return state, CheckpointResult(
             rank=ctx.rank, elapsed=ctx.env.now - start, bytes_moved=piece_len(state), path=path
         )

@@ -71,6 +71,18 @@ class Fabric:
         self._topology: Optional[Topology] = None
         self._n_nodes_hint = n_nodes_hint
         self.counters = Counter()
+        self._flow_network = None
+
+    @property
+    def flows(self):
+        """The fabric's flow-level engine (:mod:`repro.network.flow`),
+        created on first use.  Only the opt-in stream data path touches
+        it; exact chunked transfers never do."""
+        if self._flow_network is None:
+            from .flow import FlowNetwork
+
+            self._flow_network = FlowNetwork.of(self.env)
+        return self._flow_network
 
     # -- membership ---------------------------------------------------------
     def attach(self, node: Node) -> NIC:
@@ -98,11 +110,16 @@ class Fabric:
 
     # -- latency model --------------------------------------------------------
     def wire_latency(self, src: int, dst: int) -> float:
-        """Propagation latency between two attached nodes."""
+        """Propagation latency between two attached nodes.
+
+        Both endpoints resolve through :meth:`node`, so an unattached id
+        raises :class:`~repro.errors.NetworkError` (not a bare KeyError).
+        """
         if src == dst:
             return 0.0
+        base = self.node(src).spec.nic.latency
+        self.node(dst)  # validate the destination is attached too
         hops = self.topology.hops(src, dst)
-        base = self._nodes[src].spec.nic.latency
         return base + self.hop_latency * max(0, hops - 1)
 
     # -- transfer ---------------------------------------------------------------
@@ -136,13 +153,21 @@ class Fabric:
 
         wire_bytes = max(int(msg.size), self.MIN_WIRE_BYTES)
         mult = msg.meta.get("mult", 1)
+        # ``fanout`` flips the weighted-transfer asymmetry: one sender
+        # serving a whole collapsed class (server-push reads) instead of
+        # a whole class converging on one receiver (pulled writes).
+        fanout = mult > 1 and msg.meta.get("fanout", False)
 
         # Sender host overhead (header build, matching; copies if no RDMA).
         # A collapsed representative only builds/copies its own share; its
-        # classmates did theirs in parallel.
-        send_cost = src.msg_overhead_time() + src.copy_overhead_time(
-            wire_bytes // mult if mult > 1 else wire_bytes
-        )
+        # classmates did theirs in parallel.  A fanout sender builds and
+        # copies every class member's message itself.
+        if fanout:
+            send_cost = mult * src.msg_overhead_time() + src.copy_overhead_time(wire_bytes)
+        else:
+            send_cost = src.msg_overhead_time() + src.copy_overhead_time(
+                wire_bytes // mult if mult > 1 else wire_bytes
+            )
         if send_cost > 0:
             yield env.timeout(send_cost)
 
@@ -156,34 +181,44 @@ class Fabric:
 
             if mult > 1:
                 # Symmetric-client collapsing: this transfer stands for
-                # ``mult`` transfers from *different* senders (one per
-                # collapsed class member) converging on the same receiver.
-                # The receiver's pipe serializes all of them, but the
-                # representative's own NIC only ever carried its share —
-                # the classmates' NICs transmitted the rest in parallel
-                # in the exact run.
+                # ``mult`` transfers of *different* class members.  In the
+                # default (converge) orientation, ``mult`` senders target
+                # one receiver: the receiver's pipe serializes all of
+                # them, but the representative's own NIC only ever
+                # carried its share — the classmates' NICs transmitted
+                # the rest in parallel in the exact run.  In the fanout
+                # orientation (server-push reads) the roles swap: one
+                # sender serializes the whole class while the receiving
+                # representative's NIC only carries its share.
                 share = duration / mult
-                with rx_pipe._slot.request() as rx_req:
-                    yield rx_req
+                full_pipe, part_pipe = (tx_pipe, rx_pipe) if fanout else (rx_pipe, tx_pipe)
+                with full_pipe._slot.request() as full_req:
+                    yield full_req
                     start = env.now
-                    with tx_pipe._slot.request() as tx_req:
-                        yield tx_req
-                        tx_start = env.now
+                    with part_pipe._slot.request() as part_req:
+                        yield part_req
+                        part_start = env.now
                         yield env.timeout(share)
-                        tx_pipe.bytes_moved += wire_bytes // mult
-                        tx_pipe.busy_time += env.now - tx_start
+                        part_pipe.bytes_moved += wire_bytes // mult
+                        part_pipe.busy_time += env.now - part_start
                     yield env.timeout(duration - share)
-                    rx_pipe.bytes_moved += wire_bytes
-                    rx_pipe.busy_time += env.now - start
+                    full_pipe.bytes_moved += wire_bytes
+                    full_pipe.busy_time += env.now - start
                 yield env.timeout(self.wire_latency(msg.src, msg.dst))
                 if not dst.alive:
                     raise NodeFailure(
                         f"node {dst.name} died before delivery of {msg.tag!r}"
                     )
-                # The receiver handled all ``mult`` incoming messages.
-                recv_cost = mult * dst.msg_overhead_time() + dst.copy_overhead_time(
-                    wire_bytes
-                )
+                if fanout:
+                    # The representative receives only its own message.
+                    recv_cost = dst.msg_overhead_time() + dst.copy_overhead_time(
+                        wire_bytes // mult
+                    )
+                else:
+                    # The receiver handled all ``mult`` incoming messages.
+                    recv_cost = mult * dst.msg_overhead_time() + dst.copy_overhead_time(
+                        wire_bytes
+                    )
                 if recv_cost > 0:
                     yield env.timeout(recv_cost)
                 self.counters.incr("messages", mult)

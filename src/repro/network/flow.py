@@ -1,0 +1,276 @@
+"""Flow-level (fluid) modeling of steady-state bulk transfers.
+
+The exact data path decomposes every bulk write into ``chunk_bytes``
+pieces, and each piece pays a full RPC round, a portals pull, a fabric
+transfer, and a disk controller hold — kernel event count scales as
+``clients × (bytes / chunk_bytes)``.  For the steady-state *middle* of a
+checkpoint that per-chunk churn buys no fidelity: every chunk sees the
+same bottleneck, so the aggregate timeline is captured exactly as well
+by a *fluid flow* whose fair-share rate changes only when flows arrive
+or depart (burst-buffer and object-store studies model bulk phases the
+same way).
+
+:class:`FlowNetwork` implements that: each :class:`Flow` holds a set of
+:class:`FluidResource` capacities (sender tx pipe, receiver rx pipe,
+disk bandwidth) fractionally, rates are the progressive-filling max-min
+fair allocation, and the only scheduled event is the earliest flow
+completion — recomputed (with a cheap lazy-cancelled timer) at every
+arrival/departure.  ``O(chunks × events)`` collapses to
+``O(flows × rate-changes)``.
+
+A flow may weight each resource with a coefficient: a collapsed
+representative (symmetric-client collapsing, PR 3) transfers its own
+share on its tx pipe (coefficient 1) while the receiver's rx pipe and
+disk serve the whole equivalence class (coefficient ``mult``), mirroring
+the fabric's asymmetric weighted holds.
+
+The engine is strictly opt-in (``flow=True`` harness kwarg / ``--flow``
+CLI flag); ``REPRO_FLOW=0`` force-disables it so the exact chunked path
+remains the bit-identical reference, and ``REPRO_FLOW=1`` force-enables
+it regardless of the per-run flag.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..simkernel import Environment, Event
+
+__all__ = ["FluidResource", "Flow", "FlowNetwork", "flow_enabled", "fluid_of"]
+
+#: Bytes of slack below which a flow counts as complete.  Float roundoff
+#: across advance/recompute cycles is ~1e-7 B at simulation scale; real
+#: remainders are at least a byte.
+_DONE_TOL = 1e-3
+
+#: Relative capacity slack below which a resource counts as saturated
+#: during progressive filling.
+_SAT_TOL = 1e-9
+
+
+def flow_enabled(flag: bool) -> bool:
+    """Resolve the per-run ``flow`` flag against the ``REPRO_FLOW`` switch.
+
+    ``REPRO_FLOW=0`` is the kill switch (reference path, always exact),
+    ``REPRO_FLOW=1`` force-enables, anything else defers to *flag*.  Read
+    at call time so tests can flip the environment without reimports.
+    """
+    import os
+
+    forced = os.environ.get("REPRO_FLOW", "")
+    if forced == "0":
+        return False
+    if forced == "1":
+        return True
+    return flag
+
+
+class FluidResource:
+    """A capacity shared fractionally by the flows that traverse it."""
+
+    __slots__ = ("capacity", "name")
+
+    def __init__(self, capacity: float, name: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError(f"fluid resource {name!r} needs positive capacity")
+        self.capacity = float(capacity)
+        self.name = name
+
+
+def fluid_of(pipe) -> FluidResource:
+    """The (cached) fluid view of a NIC pipe or any ``.bandwidth`` holder."""
+    fluid = getattr(pipe, "_fluid", None)
+    if fluid is None:
+        fluid = FluidResource(pipe.bandwidth, name=getattr(pipe, "name", ""))
+        pipe._fluid = fluid
+    return fluid
+
+
+class Flow:
+    """One bulk stream in flight.
+
+    ``nbytes`` / ``remaining`` / ``rate`` are per-share quantities (one
+    class member's bytes); each ``(resource, coeff)`` share consumes
+    ``coeff × rate`` of that resource's capacity.
+    """
+
+    __slots__ = ("nbytes", "remaining", "rate", "shares", "done", "tag",
+                 "src", "dst", "wire_bytes", "t_open")
+
+    def __init__(
+        self,
+        env: Environment,
+        nbytes: float,
+        shares: Sequence[Tuple[FluidResource, float]],
+        tag: str,
+        src: Optional[int],
+        dst: Optional[int],
+        wire_bytes: float,
+    ) -> None:
+        self.nbytes = nbytes
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.shares = tuple(shares)
+        self.done: Event = env.event()
+        self.tag = tag
+        self.src = src
+        self.dst = dst
+        self.wire_bytes = wire_bytes
+        self.t_open = env._now
+
+
+class FlowNetwork:
+    """Max-min fair fluid flows over shared resources, one env-wide."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._flows: List[Flow] = []
+        self._last = env._now
+        self._timer = None
+        # Counters surfaced through repro.trace.stats.kernel_stats.
+        self.flows_opened = 0
+        self.flows_active = 0
+        self.flows_peak = 0
+        self.rate_recomputes = 0
+        env._flow_network = self  # type: ignore[attr-defined]
+
+    @classmethod
+    def of(cls, env: Environment) -> "FlowNetwork":
+        """The environment's flow network, created on first use."""
+        existing = getattr(env, "_flow_network", None)
+        return existing if existing is not None else cls(env)
+
+    # -- public -------------------------------------------------------------
+    def open(
+        self,
+        nbytes: float,
+        shares: Sequence[Tuple[FluidResource, float]],
+        tag: str = "flow",
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        wire_bytes: Optional[float] = None,
+    ) -> Flow:
+        """Start a flow; ``yield flow.done`` to wait for its completion.
+
+        All active rates are re-fair-shared immediately; the flow
+        completes (its ``done`` event fires) once its per-share bytes
+        have drained at whatever rates the fair share gave it over time.
+        """
+        if nbytes <= 0:
+            raise ValueError("flow needs positive nbytes")
+        if not shares:
+            raise ValueError("flow needs at least one resource share")
+        flow = Flow(
+            self.env, nbytes, shares, tag, src, dst,
+            nbytes if wire_bytes is None else wire_bytes,
+        )
+        self._advance()
+        self._flows.append(flow)
+        self.flows_opened += 1
+        self.flows_active += 1
+        if self.flows_active > self.flows_peak:
+            self.flows_peak = self.flows_active
+        self._recompute()
+        self._reschedule()
+        return flow
+
+    # -- internals ----------------------------------------------------------
+    def _advance(self) -> None:
+        """Drain bytes through every active flow up to the current time."""
+        now = self.env._now
+        dt = now - self._last
+        if dt > 0.0:
+            for f in self._flows:
+                f.remaining -= f.rate * dt
+        self._last = now
+
+    def _recompute(self) -> None:
+        """Progressive-filling max-min fair shares with coefficients.
+
+        Raise every unfrozen flow's rate uniformly until some resource
+        saturates; freeze the flows crossing it; repeat.  Each round
+        freezes at least one flow, so this is ``O(flows × resources)``
+        per arrival/departure — independent of chunk count.
+        """
+        self.rate_recomputes += 1
+        flows = self._flows
+        if not flows:
+            return
+        cap = {}
+        load = {}
+        for f in flows:
+            f.rate = 0.0
+            for res, coeff in f.shares:
+                if res not in cap:
+                    cap[res] = res.capacity
+                    load[res] = 0.0
+                load[res] += coeff
+        unfrozen = list(flows)
+        while unfrozen:
+            inc = min(cap[r] / load[r] for r in cap if load[r] > 0.0)
+            saturated = set()
+            for r in cap:
+                if load[r] > 0.0:
+                    cap[r] -= inc * load[r]
+                    if cap[r] <= _SAT_TOL * r.capacity:
+                        saturated.add(r)
+            for f in unfrozen:
+                f.rate += inc
+            if not saturated:  # pragma: no cover - numerical safety net
+                break
+            frozen = [f for f in unfrozen
+                      if any(res in saturated for res, _ in f.shares)]
+            for f in frozen:
+                for res, coeff in f.shares:
+                    if res in load:
+                        load[res] -= coeff
+            # Drop saturated resources from the pool entirely: every flow
+            # touching them is frozen, and a roundoff residual in their
+            # load (1e-16 instead of 0) against their residual cap
+            # (-1e-7 instead of 0) would otherwise poison the next
+            # round's min with a huge negative increment.
+            for r in saturated:
+                del cap[r]
+                del load[r]
+            if not frozen:  # pragma: no cover - numerical safety net
+                break
+            dead = set(frozen)
+            unfrozen = [f for f in unfrozen if f not in dead]
+
+    def _reschedule(self) -> None:
+        """Re-arm the single completion timer at the earliest finish."""
+        timer = self._timer
+        if timer is not None:
+            timer.cancel()
+            self._timer = None
+        if not self._flows:
+            return
+        dt = min(f.remaining / f.rate for f in self._flows)
+        if dt < 0.0:
+            dt = 0.0
+        timer = self.env.timeout(dt)
+        timer.callbacks.append(self._on_timer)
+        self._timer = timer
+
+    def _on_timer(self, event) -> None:
+        if event is not self._timer:  # pragma: no cover - stale-timer guard
+            return
+        self._timer = None
+        self._advance()
+        finished = [f for f in self._flows if f.remaining <= _DONE_TOL]
+        if finished:
+            self._flows = [f for f in self._flows if f.remaining > _DONE_TOL]
+            self.flows_active -= len(finished)
+            tracer = self.env.tracer
+            for f in finished:
+                f.remaining = 0.0
+                if tracer is not None:
+                    tracer.record(
+                        f"xfer-flow:{f.tag}" if f.tag else "xfer-flow",
+                        start=f.t_open, kind="xfer",
+                        node=f.src, op=f.tag or None, dst=f.dst,
+                        bytes=int(f.wire_bytes),
+                    )
+                f.done.succeed(f)
+        self._recompute()
+        self._reschedule()

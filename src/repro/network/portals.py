@@ -28,6 +28,7 @@ from ..errors import NetworkError
 from ..machine.node import Node
 from ..simkernel import Environment, Event, Store
 from .fabric import Fabric, Message
+from .flow import fluid_of
 
 __all__ = [
     "PtlEventKind",
@@ -162,14 +163,19 @@ class PortalsEndpoint:
         match_bits: int,
         hdr_data: Any = None,
         offset: int = 0,
+        wire_weight: int = 1,
     ) -> Event:
         """One-sided write of ``md.payload`` into the target's match entry.
 
         Returns an event that fires (initiator side) when the data has been
         deposited remotely; the target's EQ receives a ``PUT_END`` event.
+
+        ``wire_weight`` mirrors :meth:`get` (symmetric-client collapsing):
+        the push serializes ``wire_weight * length`` bytes and counts as
+        that many messages.  At 1, exactly the unweighted transfer.
         """
         return self.env.process(
-            self._put_proc(md, target_nid, pt_index, match_bits, hdr_data, offset),
+            self._put_proc(md, target_nid, pt_index, match_bits, hdr_data, offset, wire_weight),
             name=f"ptl_put->{target_nid}",
         )
 
@@ -181,6 +187,7 @@ class PortalsEndpoint:
         match_bits: int,
         hdr_data: Any = None,
         offset: int = 0,
+        wire_weight: int = 1,
     ):
         """:meth:`put` as a plain generator for ``yield from`` callers.
 
@@ -188,16 +195,18 @@ class PortalsEndpoint:
         that immediately wait on the put (the RPC layer, server-directed
         reads) save the wrapper's start/finish event-loop turns.
         """
-        return self._put_proc(md, target_nid, pt_index, match_bits, hdr_data, offset)
+        return self._put_proc(md, target_nid, pt_index, match_bits, hdr_data, offset, wire_weight)
 
-    def _put_proc(self, md, target_nid, pt_index, match_bits, hdr_data, offset):
+    def _put_proc(self, md, target_nid, pt_index, match_bits, hdr_data, offset, wire_weight=1):
         # Not itself a generator: picks the worker generator so the
         # tracing-disabled path keeps its exact pre-trace frame count.
         if self.env.tracer is None:
-            return self._put_inner(md, target_nid, pt_index, match_bits, hdr_data, offset)
-        return self._put_traced(md, target_nid, pt_index, match_bits, hdr_data, offset)
+            return self._put_inner(md, target_nid, pt_index, match_bits, hdr_data, offset,
+                                   wire_weight)
+        return self._put_traced(md, target_nid, pt_index, match_bits, hdr_data, offset,
+                                wire_weight)
 
-    def _put_traced(self, md, target_nid, pt_index, match_bits, hdr_data, offset):
+    def _put_traced(self, md, target_nid, pt_index, match_bits, hdr_data, offset, wire_weight):
         tracer = self.env.tracer
         span, prev = tracer.push(
             "ptl_put", kind="bulk", node=self.node.node_id, op="put",
@@ -205,13 +214,13 @@ class PortalsEndpoint:
         )
         try:
             return (yield from self._put_inner(
-                md, target_nid, pt_index, match_bits, hdr_data, offset
+                md, target_nid, pt_index, match_bits, hdr_data, offset, wire_weight
             ))
         finally:
             tracer.pop(span, prev)
 
-    def _put_inner(self, md, target_nid, pt_index, match_bits, hdr_data, offset):
-        size = md.length + self.HEADER_BYTES
+    def _put_inner(self, md, target_nid, pt_index, match_bits, hdr_data, offset, wire_weight):
+        size = wire_weight * md.length + self.HEADER_BYTES
         msg = Message(
             src=self.node.node_id,
             dst=target_nid,
@@ -219,6 +228,9 @@ class PortalsEndpoint:
             tag=f"ptl_put:{pt_index}:{match_bits:#x}",
             payload=md.payload,
         )
+        if wire_weight != 1:
+            msg.meta["mult"] = wire_weight
+            msg.meta["fanout"] = True  # one pusher serves the whole class
         yield from self.fabric.transfer_inline(msg)
         target = self.fabric.node(target_nid)
         endpoint = _endpoint_of(target)
@@ -350,6 +362,125 @@ class PortalsEndpoint:
                     match_bits=match_bits,
                     length=nbytes,
                     payload=me.md.payload,
+                )
+            )
+        return me.md.payload
+
+
+    # -- flow-level stream pull ---------------------------------------------
+    def get_stream(
+        self,
+        md: MemoryDescriptor,
+        target_nid: int,
+        pt_index: int,
+        match_bits: int,
+        length: Optional[int] = None,
+        wire_weight: int = 1,
+        extra_shares: tuple = (),
+        n_msgs: int = 1,
+    ):
+        """Pull a bulk stream via the flow engine (``yield from`` only).
+
+        The control edge is exact — the same header-sized request
+        message, match-entry lookup, and ``GET_END`` event as
+        :meth:`get` — but the bulk reply rides ONE fluid flow
+        (:mod:`repro.network.flow`) holding the target's tx pipe and the
+        local rx pipe fractionally, instead of per-chunk fabric
+        transfers.  ``wire_weight`` mirrors :meth:`get` (the rx side
+        serves the whole collapsed class); ``extra_shares`` couples the
+        flow to further capacities (the storage device's fluid view);
+        ``n_msgs`` is the chunk count the stream stands for, used only
+        for message accounting.
+        """
+        if self.env.tracer is None:
+            return self._get_stream_inner(
+                md, target_nid, pt_index, match_bits, length, wire_weight,
+                extra_shares, n_msgs,
+            )
+        return self._get_stream_traced(
+            md, target_nid, pt_index, match_bits, length, wire_weight,
+            extra_shares, n_msgs,
+        )
+
+    def _get_stream_traced(self, md, target_nid, pt_index, match_bits, length,
+                           wire_weight, extra_shares, n_msgs):
+        tracer = self.env.tracer
+        span, prev = tracer.push(
+            "ptl_get_stream", kind="bulk", node=self.node.node_id, op="get",
+            src=target_nid,
+        )
+        try:
+            return (yield from self._get_stream_inner(
+                md, target_nid, pt_index, match_bits, length, wire_weight,
+                extra_shares, n_msgs,
+            ))
+        finally:
+            tracer.pop(span, prev)
+
+    def _get_stream_inner(self, md, target_nid, pt_index, match_bits, length,
+                          wire_weight, extra_shares, n_msgs):
+        req = Message(
+            src=self.node.node_id,
+            dst=target_nid,
+            size=self.HEADER_BYTES,
+            tag=f"ptl_get_req:{pt_index}:{match_bits:#x}",
+        )
+        yield from self.fabric.transfer_inline(req)
+
+        target = self.fabric.node(target_nid)
+        endpoint = _endpoint_of(target)
+        me = endpoint.tables[pt_index].match(match_bits)
+        if me is None:
+            raise NetworkError(
+                f"ptl_get_stream: no match entry at node {target_nid} portal "
+                f"{pt_index} for bits {match_bits:#x}"
+            )
+        nbytes = me.md.length if length is None else min(length, me.md.length)
+        if me.md.eq is not None:
+            me.md.eq.try_put(
+                PtlEvent(
+                    kind=PtlEventKind.GET_END,
+                    initiator=self.node.node_id,
+                    match_bits=match_bits,
+                    length=nbytes,
+                )
+            )
+
+        # The whole bulk reply as one fluid flow.  Per-share bytes are one
+        # class member's; the representative's own tx pipe carries its
+        # share (coefficient 1) while the local rx pipe serves the whole
+        # class (coefficient wire_weight), mirroring the fabric's
+        # asymmetric weighted holds.
+        shares = [
+            (fluid_of(target.nic.tx), 1.0),
+            (fluid_of(self.node.nic.rx), float(wire_weight)),
+        ]
+        shares.extend(extra_shares)
+        flow = self.fabric.flows.open(
+            float(nbytes), shares, tag="ptl_get_stream",
+            src=target_nid, dst=self.node.node_id,
+            wire_bytes=wire_weight * nbytes,
+        )
+        yield flow.done
+
+        # Utilization bookkeeping at completion (the fluid model has no
+        # per-chunk holds to account incrementally).
+        tx_pipe, rx_pipe = target.nic.tx, self.node.nic.rx
+        tx_pipe.bytes_moved += nbytes
+        tx_pipe.busy_time += nbytes / tx_pipe.bandwidth
+        rx_pipe.bytes_moved += wire_weight * nbytes
+        rx_pipe.busy_time += wire_weight * nbytes / rx_pipe.bandwidth
+        self.fabric.counters.incr("messages", wire_weight * n_msgs)
+        self.fabric.counters.incr("bytes", wire_weight * nbytes)
+
+        md.payload = me.md.payload
+        if md.eq is not None:
+            md.eq.try_put(
+                PtlEvent(
+                    kind=PtlEventKind.REPLY_END,
+                    initiator=target_nid,
+                    match_bits=match_bits,
+                    length=nbytes,
                 )
             )
         return me.md.payload

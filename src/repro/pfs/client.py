@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from ..lwfs.ids import TxnID  # noqa: F401 (symmetry with the LWFS client)
 from ..machine.node import Node
+from ..network.flow import flow_enabled
 from ..network.portals import MemoryDescriptor, install_portals
 from ..network.rpc import RpcClient
 from ..simkernel import Resource
@@ -136,6 +137,12 @@ class SimPFSClient:
         (file-per-process — sole-writer fast path).
         """
         total = piece_len(data)
+        if flow_enabled(self.config.flow) and not shared:
+            # Flow-level path for sole-writer single-OST (file-per-process)
+            # writes: exact first fragment, one fluid stream for the rest.
+            frags = list(fh.layout.map_extent(offset, total))
+            if len(frags) > 2 and len({f.ost_index for f in frags}) == 1:
+                return (yield from self._write_flow(fh, offset, data, weight, total, frags))
         # A representative keeps the whole class's fragments in flight
         # (the class collectively had weight * depth outstanding), so the
         # OSTs its classmates would have kept busy stay busy.
@@ -156,6 +163,55 @@ class SimPFSClient:
         for proc in inflight:
             if isinstance(proc.value, BaseException):
                 raise proc.value
+        end = offset + total
+        if end > fh.inode.size:
+            fh.inode.size = end
+        self.bytes_written += total
+        return total
+
+    def _write_flow(self, fh, offset, data, weight, total, frags):
+        """Flow-level file-per-process write.
+
+        The first fragment pays the exact chunked path (VFS call, OST
+        RPC, extent-lock claim, per-fragment disk write); the remaining
+        fragments go through one ``write_stream`` RPC — a single writev-
+        style call whose bulk pull rides a fluid flow at the OST.
+        """
+        first = frags[0]
+        piece = piece_slice(data, 0, first.length)
+        yield from self._vfs()
+        ost = fh.layout.osts[first.ost_index]
+        bits = next_data_bits()
+        md = MemoryDescriptor(length=first.length, payload=piece)
+        me = self.portals.attach(DATA_PORTAL, bits, md, use_once=True)
+        try:
+            yield from self._ost(
+                ost, "write",
+                ino=fh.inode.ino, stripe_index=first.ost_index,
+                offset=first.object_offset, length=first.length,
+                data_node=self.node.node_id, data_bits=bits,
+                client_id=self.node.node_id, weight=weight, shared=False,
+            )
+        finally:
+            self.portals.detach(DATA_PORTAL, me)
+
+        rest = piece_slice(data, first.length, total)
+        length = total - first.length
+        yield from self._vfs()
+        bits = next_data_bits()
+        md = MemoryDescriptor(length=length, payload=rest)
+        me = self.portals.attach(DATA_PORTAL, bits, md, use_once=True)
+        try:
+            yield from self._ost(
+                ost, "write_stream",
+                ino=fh.inode.ino, stripe_index=first.ost_index,
+                offset=frags[1].object_offset, length=length,
+                n_chunks=len(frags) - 1,
+                data_node=self.node.node_id, data_bits=bits,
+                client_id=self.node.node_id, weight=weight,
+            )
+        finally:
+            self.portals.detach(DATA_PORTAL, me)
         end = offset + total
         if end > fh.inode.size:
             fh.inode.size = end
@@ -190,15 +246,19 @@ class SimPFSClient:
         finally:
             window.release(window_req)
 
-    def read(self, fh: PFSFileHandle, offset: int, length: int):
-        """pread(2): gather fragments from the OSTs, pipelined."""
-        window = Resource(self.env, capacity=self.config.pipeline_depth)
+    def read(self, fh: PFSFileHandle, offset: int, length: int, weight: int = 1):
+        """pread(2): gather fragments from the OSTs, pipelined.
+
+        ``weight`` > 1 (symmetric-client collapsing): each fragment read
+        stands for *weight* clients' identical reads.
+        """
+        window = Resource(self.env, capacity=weight * self.config.pipeline_depth)
         inflight = []
         for frag in fh.layout.map_extent(offset, length):
             req = window.request()
             yield req
             proc = self.env.process(
-                self._read_fragment(fh, frag, window, req),
+                self._read_fragment(fh, frag, window, req, weight),
                 name=f"pfsread:{fh.inode.ino}:{frag.file_offset}",
             )
             inflight.append(proc)
@@ -212,7 +272,7 @@ class SimPFSClient:
         self.bytes_read += length
         return concat_pieces(pieces)
 
-    def _read_fragment(self, fh, frag, window, window_req):
+    def _read_fragment(self, fh, frag, window, window_req, weight=1):
         try:
             yield from self._vfs()
             ost = fh.layout.osts[frag.ost_index]
@@ -230,6 +290,7 @@ class SimPFSClient:
                     length=frag.length,
                     data_node=self.node.node_id,
                     data_bits=bits,
+                    weight=weight,
                 )
             finally:
                 self.portals.detach(DATA_PORTAL, me)

@@ -166,8 +166,60 @@ class SimOST(_SimServerBase):
                 self.buffers.put(length)
             return {"status": "ok", "written": length}
 
-        def read(ctx, ino, stripe_index, offset, length, data_node, data_bits):
-            yield from self.cpu("req", costs.ost_request_cpu)
+        def write_stream(ctx, ino, stripe_index, offset, length, n_chunks, data_node,
+                         data_bits, client_id, weight=1):
+            """The steady-state middle of a sole-writer (file-per-process)
+            write as ONE fluid flow — the PFS mirror of the LWFS server's
+            ``write_stream``.  The PFS client only takes this path for
+            unshared single-OST layouts, so a contended object here means
+            the gating broke; fail loudly rather than mis-model it."""
+            yield from self.cpu("req", weight * n_chunks * costs.ost_request_cpu)
+            key = (ino, stripe_index)
+            self._ensure_object(key)
+            owner = self._owners.get(key)
+            writers = self._writers.setdefault(key, set())
+            writers.add(client_id)
+            if len(writers) > 1 or (owner is not None and owner != client_id):
+                raise NetworkError(
+                    f"write_stream on contended object {key} (owner {owner})"
+                )
+            self._owners[key] = client_id
+            tracer = self.env.tracer
+            t_wait = self.env._now if tracer is not None else 0.0
+            with self.threads.request() as thread:
+                yield thread
+                if tracer is not None and self.env._now > t_wait:
+                    tracer.record(
+                        "wait:threads", start=t_wait, kind="wait",
+                        node=self.node_id, service=self.service_name,
+                        resource="threads",
+                    )
+                reserve = min(length, self.config.chunk_bytes)
+                yield self.buffers.get(reserve)
+                stream = None
+                try:
+                    stream = yield from self.device.begin_stream(
+                        weight * length, ops=weight * n_chunks
+                    )
+                    md = MemoryDescriptor(length=length)
+                    data = yield from self.node.portals.get_stream(
+                        md, data_node, DATA_PORTAL, data_bits,
+                        wire_weight=weight,
+                        extra_shares=((self.device.fluid, weight * stream.scale),),
+                        n_msgs=n_chunks,
+                    )
+                finally:
+                    if stream is not None:
+                        stream.close()
+                    self.buffers.put(reserve)
+                self.store.write(key, offset, data)
+            return {"status": "ok", "written": length}
+
+        def read(ctx, ino, stripe_index, offset, length, data_node, data_bits, weight=1):
+            """``weight`` > 1 (collapsing): the read stands for *weight*
+            clients' identical fragments — seeks, disk bytes, CPU, and
+            the reply wire all scale accordingly."""
+            yield from self.cpu("req", weight * costs.ost_request_cpu)
             key = (ino, stripe_index)
             self._ensure_object(key)
             with self.threads.request() as thread:
@@ -175,9 +227,13 @@ class SimOST(_SimServerBase):
                 yield self.buffers.get(length)
                 try:
                     data = self.store.read(key, offset, length)
-                    yield from self.device.read(piece_len(data) or length)
+                    yield from self.device.read(
+                        weight * (piece_len(data) or length), ops=weight
+                    )
                     md = MemoryDescriptor(length=length, payload=data)
-                    yield self.node.portals.put(md, data_node, DATA_PORTAL, data_bits)
+                    yield self.node.portals.put(
+                        md, data_node, DATA_PORTAL, data_bits, wire_weight=weight
+                    )
                 finally:
                     self.buffers.put(length)
             return {"status": "ok"}
@@ -205,6 +261,7 @@ class SimOST(_SimServerBase):
             return True
 
         reg("write", write)
+        reg("write_stream", write_stream)
         reg("read", read)
         reg("sync", sync)
         reg("truncate", truncate)

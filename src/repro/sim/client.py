@@ -16,6 +16,7 @@ from ..errors import TransactionAborted
 from ..lwfs.capabilities import Capability, OpMask
 from ..lwfs.ids import ContainerID, ObjectID, TxnID
 from ..machine.node import Node
+from ..network.flow import flow_enabled
 from ..network.portals import MemoryDescriptor, install_portals
 from ..network.rpc import RpcClient
 from ..simkernel import Resource
@@ -138,6 +139,17 @@ class SimLWFSClient:
         """
         total = piece_len(data)
         chunk = self.config.chunk_bytes
+        if (
+            flow_enabled(self.config.flow)
+            and self.deployment.server_directed
+            and total > 2 * chunk
+        ):
+            # Flow-level path: first chunk exact (RPC round, capability
+            # verify, portals pull, per-chunk disk write), steady-state
+            # remainder as one fluid stream.  Syncs/commits stay exact.
+            return (
+                yield from self._write_flow(cap, oid, data, offset, txnid, weight, total, chunk)
+            )
         # A representative keeps the whole class's chunks in flight: the
         # class collectively had weight * depth outstanding requests.
         window = Resource(self.env, capacity=weight * self.config.pipeline_depth)
@@ -161,6 +173,37 @@ class SimLWFSClient:
         for proc in inflight:
             if isinstance(proc.value, BaseException):
                 raise proc.value
+        self.bytes_written += total
+        return total
+
+    def _write_flow(self, cap, oid, data, offset, txnid, weight, total, chunk):
+        """Write via the flow engine: exact first chunk + one bulk stream.
+
+        The first chunk pays the full chunked path (so the verify-cache
+        miss, match-entry setup, and first controller hold land exactly
+        where they would have); the remaining ``total - chunk`` bytes go
+        through a single ``write_stream`` RPC whose bulk pull rides a
+        fluid flow at the server.
+        """
+        first = piece_slice(data, 0, chunk)
+        yield from self._write_chunk_inner(cap, oid, offset, first, txnid, weight)
+
+        rest = piece_slice(data, chunk, total)
+        length = total - chunk
+        n_chunks = (length + chunk - 1) // chunk
+        node_id, svc = self._storage(oid.server_hint)
+        bits = next_data_bits()
+        md = MemoryDescriptor(length=length, payload=rest)
+        me = self.portals.attach(DATA_PORTAL, bits, md, use_once=True)
+        try:
+            yield from self._call(
+                node_id, svc, "write_stream",
+                cap=cap, oid=oid, offset=offset + chunk, length=length,
+                n_chunks=n_chunks, data_node=self.node.node_id,
+                data_bits=bits, txnid=txnid, weight=weight,
+            )
+        finally:
+            self.portals.detach(DATA_PORTAL, me)
         self.bytes_written += total
         return total
 
@@ -207,10 +250,15 @@ class SimLWFSClient:
             yield self.env.timeout(self.cluster.rng.uniform("backoff", backoff / 2, backoff))
             backoff = min(backoff * 2, 0.1)
 
-    def read(self, cap: Capability, oid: ObjectID, offset: int, length: int):
-        """Chunked, pipelined read; the server pushes into posted buffers."""
+    def read(self, cap: Capability, oid: ObjectID, offset: int, length: int, weight: int = 1):
+        """Chunked, pipelined read; the server pushes into posted buffers.
+
+        ``weight`` > 1 (symmetric-client collapsing): each chunk request
+        stands for *weight* clients' identical reads — the server charges
+        seeks, disk bytes, and the wire for all of them.
+        """
         chunk = self.config.chunk_bytes
-        window = Resource(self.env, capacity=self.config.pipeline_depth)
+        window = Resource(self.env, capacity=weight * self.config.pipeline_depth)
         inflight = []
         pos = 0
         while pos < length:
@@ -218,7 +266,7 @@ class SimLWFSClient:
             req = window.request()
             yield req
             proc = self.env.process(
-                self._read_chunk(cap, oid, offset + pos, n, window, req),
+                self._read_chunk(cap, oid, offset + pos, n, window, req, weight),
                 name=f"rchunk:{oid.value}:{pos}",
             )
             inflight.append(proc)
@@ -235,7 +283,7 @@ class SimLWFSClient:
 
         return concat_pieces(pieces)
 
-    def _read_chunk(self, cap, oid, offset, n, window, window_req):
+    def _read_chunk(self, cap, oid, offset, n, window, window_req, weight=1):
         try:
             bits = next_data_bits()
             recv_q = self.portals.new_eq()
@@ -247,6 +295,7 @@ class SimLWFSClient:
                     node_id, svc, "read",
                     cap=cap, oid=oid, offset=offset, length=n,
                     data_node=self.node.node_id, data_bits=bits,
+                    weight=weight,
                 )
             finally:
                 self.portals.detach(DATA_PORTAL, me)

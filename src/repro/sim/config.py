@@ -80,6 +80,11 @@ class SimConfig:
     rpc_timeout: float = 30.0  # failure detection for 2PC
     seed: int = 1234
     cost_jitter: float = 0.03  # relative sigma on service times
+    #: Opt-in flow-level data path (repro.network.flow): the steady-state
+    #: middle of a bulk write rides a fluid fair-share stream instead of
+    #: per-chunk RPCs.  ``REPRO_FLOW=0`` force-disables (reference path),
+    #: ``REPRO_FLOW=1`` force-enables.
+    flow: bool = False
     lwfs: LWFSCosts = field(default_factory=LWFSCosts)
     pfs: PFSCosts = field(default_factory=PFSCosts)
 

@@ -410,9 +410,67 @@ class SimStorageServer(_SimServerBase):
                 self.buffers.put(length)
             return {"status": "ok", "written": length}
 
-        def read(ctx, cap, oid, offset, length, data_node, data_bits):
+        def write_stream(ctx, cap, oid, offset, length, n_chunks, data_node, data_bits,
+                         txnid=None, weight=1):
+            """The steady-state middle of a bulk write as ONE fluid flow
+            (flow-level data path).  Request CPU for all ``n_chunks`` is
+            charged up front, one thread and one recycled pinned buffer
+            cover the stream, the disk grants a single batched admission
+            (one controller queue entry), and the portals stream pull
+            drains at the max-min fair share of the client's tx pipe,
+            this node's rx pipe, and the device.  ``weight`` mirrors
+            :func:`write` (collapsed equivalence class)."""
+            if not self.server_directed:
+                raise NetworkError("write_stream requires server-directed mode")
+            yield from self._authorize(cap, OpMask.WRITE, self._cid_of(oid))
+            yield from self.cpu("write_req", weight * n_chunks * costs.request_cpu)
+
+            tracer = self.env.tracer
+            t_wait = self.env._now if tracer is not None else 0.0
+            with self.threads.request() as thread:
+                yield thread
+                if tracer is not None and self.env._now > t_wait:
+                    tracer.record(
+                        "wait:threads", start=t_wait, kind="wait",
+                        node=self.node_id, service=self.service_name,
+                        resource="threads",
+                    )
+                # One chunk-sized pinned buffer, recycled as the stream
+                # lands — the exact path's pulls did the same back to back.
+                reserve = min(length, self.config.chunk_bytes)
+                t_wait = self.env._now if tracer is not None else 0.0
+                yield self.buffers.get(reserve)
+                if tracer is not None and self.env._now > t_wait:
+                    tracer.record(
+                        "wait:buffers", start=t_wait, kind="wait",
+                        node=self.node_id, service=self.service_name,
+                        resource="buffers",
+                    )
+                stream = None
+                try:
+                    stream = yield from self.device.begin_stream(
+                        weight * length, ops=weight * n_chunks
+                    )
+                    md = MemoryDescriptor(length=length)
+                    data = yield from self.node.portals.get_stream(
+                        md, data_node, DATA_PORTAL, data_bits,
+                        wire_weight=weight,
+                        extra_shares=((self.device.fluid, weight * stream.scale),),
+                        n_msgs=n_chunks,
+                    )
+                finally:
+                    if stream is not None:
+                        stream.close()
+                    self.buffers.put(reserve)
+                self.svc.write(cap, oid, offset, data, txnid=txnid)
+            return {"status": "ok", "written": length}
+
+        def read(ctx, cap, oid, offset, length, data_node, data_bits, weight=1):
+            """``weight`` > 1 (collapsing): this read stands for *weight*
+            clients' identical chunks — seeks, disk bytes, CPU, and the
+            reply wire all scale; the push serializes weight*length."""
             yield from self._authorize(cap, OpMask.READ, self._cid_of(oid))
-            yield from self.cpu("read_req", costs.request_cpu)
+            yield from self.cpu("read_req", weight * costs.request_cpu)
             tracer = self.env.tracer
             t_wait = self.env._now if tracer is not None else 0.0
             with self.threads.request() as thread:
@@ -426,10 +484,14 @@ class SimStorageServer(_SimServerBase):
                     )
                 try:
                     data = self.svc.read(cap, oid, offset, length)
-                    yield from self.device.read(piece_len(data) or length)
+                    yield from self.device.read(
+                        weight * (piece_len(data) or length), ops=weight
+                    )
                     md = MemoryDescriptor(length=length, payload=data)
                     # Push to the client's posted buffer (Fig. 6 reads).
-                    yield from self.node.portals.put_inline(md, data_node, DATA_PORTAL, data_bits)
+                    yield from self.node.portals.put_inline(
+                        md, data_node, DATA_PORTAL, data_bits, wire_weight=weight
+                    )
                 finally:
                     self.buffers.put(length)
             return {"status": "ok", "length": length}
@@ -508,6 +570,7 @@ class SimStorageServer(_SimServerBase):
         reg("create", create)
         reg("remove", remove)
         reg("write", write)
+        reg("write_stream", write_stream)
         reg("read", read)
         reg("sync", sync)
         reg("filter", filter_object)

@@ -16,9 +16,14 @@ __all__ = ["kernel_stats"]
 
 def kernel_stats(env) -> Dict[str, float]:
     """Uniform simkernel statistics for one environment."""
-    return {
+    stats = {
         "events_processed": env.events_processed,
         "events_skipped_cancelled": env.events_skipped_cancelled,
         "peak_event_queue": env.peak_queue_len,
         "sim_seconds": env.now,
     }
+    flows = getattr(env, "_flow_network", None)
+    if flows is not None:
+        stats["flows_active"] = flows.flows_peak
+        stats["rate_recomputes"] = flows.rate_recomputes
+    return stats

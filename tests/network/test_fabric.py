@@ -92,6 +92,40 @@ class TestContention:
         env.run(bulk)
         assert ctl_done < env.now / 10
 
+    def test_control_lane_boundary_4096_vs_4097(self, env, fabric, nodes):
+        """CONTROL_LANE_MAX is inclusive: exactly 4096 B rides the control
+        virtual channel and never queues behind a saturating bulk
+        transfer; one byte more shares the bulk pipes and must wait."""
+        assert Fabric.CONTROL_LANE_MAX == 4096
+        bulk = fabric.send(2, 0, 64 * MiB, tag="bulk")
+        at_max = fabric.send(3, 0, 4096, tag="at-max")
+        env.run(at_max)
+        at_max_done = env.now
+        env.run(bulk)
+        bulk_done = env.now
+        assert at_max_done < bulk_done / 10
+
+        # Fresh run: 4097 B is bulk traffic and queues behind saturation.
+        from repro.machine import Node, dev_cluster
+        from repro.simkernel import Environment
+
+        env2 = Environment()
+        spec = dev_cluster()
+        fabric2 = Fabric(env2, topology=spec.topology, hop_latency=spec.hop_latency)
+        for i in range(2):
+            fabric2.attach(Node(env2, i, spec.io_spec))
+        for i in range(2, 4):
+            fabric2.attach(Node(env2, i, spec.compute_spec))
+        bulk = fabric2.send(2, 0, 64 * MiB, tag="bulk")
+        over = fabric2.send(3, 0, 4097, tag="over-max")
+        env2.run(over)
+        over_done = env2.now
+        env2.run(bulk)
+        # The 4097 B message sat in the rx queue for the bulk transfer's
+        # whole serialization, so it lands near the bulk's own finish —
+        # not ahead of it like the control-lane message did.
+        assert over_done > bulk_done / 2
+
 
 class TestFailures:
     def test_send_from_dead_node_fails(self, env, fabric, nodes):
@@ -126,6 +160,18 @@ class TestLatencyModel:
         far = fabric.wire_latency(0, 63)
         assert near == pytest.approx(spec.compute_spec.nic.latency)
         assert far > near
+
+    def test_wire_latency_unattached_ids_raise_network_error(self, env, fabric, nodes):
+        """Both endpoint lookups route through node(): an unattached id on
+        either side is a NetworkError, never a bare KeyError."""
+        from repro.errors import NetworkError
+
+        with pytest.raises(NetworkError):
+            fabric.wire_latency(99, 0)
+        with pytest.raises(NetworkError):
+            fabric.wire_latency(0, 99)
+        # Same-id short-circuit stays: no lookup needed for a local hop.
+        assert fabric.wire_latency(99, 99) == 0.0
 
     def test_duplicate_attach_rejected(self, env, fabric, nodes, spec):
         from repro.machine import Node

@@ -199,6 +199,62 @@ class TestContended:
         assert order[1][0] == "ctl" and order[1][1] < order[0][1]
 
 
+class TestFailureEquivalence:
+    """Dead endpoints must fail at the same simulated instant whichever
+    path the transfer takes — the fast path may not skip (or reorder)
+    the liveness checks."""
+
+    @staticmethod
+    def _failure_time(kill_src):
+        def workload(env, fabric):
+            victim = fabric.node(2) if kill_src else fabric.node(0)
+            victim.kill()
+            ev = fabric.send(2, 0, 4 * MiB, tag="doomed")
+            from repro.errors import NodeFailure
+
+            with pytest.raises(NodeFailure):
+                env.run(ev)
+            return env.now
+
+        return workload
+
+    def test_dead_source_fails_at_identical_time(self):
+        results = run_both(self._failure_time(kill_src=True))
+        assert_equivalent(results)
+        (_, _, t_ref), (_, _, t_fast) = results
+        # A dead source is caught before any simulated work happens.
+        assert t_fast == t_ref == 0.0
+
+    def test_dead_destination_fails_at_identical_time(self):
+        results = run_both(self._failure_time(kill_src=False))
+        (_, _, t_ref), (_, _, t_fast) = results
+        assert t_fast == t_ref
+        # The wire was crossed before delivery failed: send overhead,
+        # serialization, and latency all elapsed first.
+        assert t_fast > 0.0
+
+    def test_mid_flight_destination_death_identical(self):
+        # Destination dies while the bytes are on the wire: both paths
+        # must observe the death at delivery time, not earlier.
+        def workload(env, fabric):
+            from repro.errors import NodeFailure
+
+            ev = fabric.send(2, 0, 32 * MiB, tag="doomed")
+
+            def killer():
+                yield env.timeout(1e-4)
+                fabric.node(0).kill()
+
+            env.process(killer())
+            with pytest.raises(NodeFailure):
+                env.run(ev)
+            return env.now
+
+        results = run_both(workload)
+        (_, _, t_ref), (_, _, t_fast) = results
+        assert t_fast == t_ref > 1e-4
+
+
 class TestPortalsEquivalence:
     @pytest.mark.parametrize("size", (4 * KiB, 1 * MiB))
     def test_put_completion_time(self, size):

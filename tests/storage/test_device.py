@@ -112,6 +112,128 @@ class TestAccounting:
         assert device.utilization(env.now) == pytest.approx(0.5, rel=0.01)
 
 
+class TestReadWeighting:
+    def test_read_ops_scales_seek_count(self, env, device):
+        """A collapsed read (ops=N) pays N seeks, matching write/sync:
+        restart workloads stay honest under symmetric-client collapsing."""
+        t_one = run(env, device.read(1 * MiB, ops=1))
+        start = env.now
+        run(env, device.read(1 * MiB, ops=4))
+        t_four = env.now - start
+        assert t_one == pytest.approx(0.01 + 0.005)
+        assert t_four == pytest.approx(0.01 + 4 * 0.005)
+
+    def test_read_ops_default_unchanged(self, env, device):
+        t = run(env, device.read(1 * MiB))
+        assert t == pytest.approx(0.015)
+
+
+class TestStreams:
+    def test_stream_admission_and_close(self, env, device):
+        """begin_stream takes the controller, close releases it; bytes and
+        busy time are booked once at close."""
+
+        def proc(env):
+            stream = yield from device.begin_stream(2 * MiB, ops=2)
+            yield env.timeout(0.02)  # the fluid flow would run here
+            stream.close()
+
+        env.run(env.process(proc(env)))
+        assert device.used_bytes == 2 * MiB
+        assert device.busy_time == pytest.approx(0.02)  # 2 MiB / 100 MiB/s
+        assert device._stream_count == 0
+        assert device._controller.queue_len == 0
+
+    def test_concurrent_streams_share_one_controller_hold(self, env, device):
+        """Batched admission: the second stream joins the first's hold
+        synchronously — no second controller queue entry — and a discrete
+        op queues behind the single shared hold until the LAST stream
+        closes."""
+        times = {}
+
+        def streamer(key, delay, hold):
+            yield env.timeout(delay)
+            stream = yield from device.begin_stream(1 * MiB)
+            times[f"{key}-admitted"] = env.now
+            yield env.timeout(hold)
+            stream.close()
+            times[f"{key}-closed"] = env.now
+
+        def syncer(env):
+            yield env.timeout(0.002)  # arrive while both streams hold
+            yield from device.sync()
+            times["sync"] = env.now
+
+        env.process(streamer("a", 0.0, 0.010))
+        env.process(streamer("b", 0.001, 0.010))
+        env.process(syncer(env))
+        env.run()
+        # b joined a's hold with no queueing delay of its own.
+        assert times["b-admitted"] == pytest.approx(0.001)
+        # The sync waited for the last close (t=0.011), then ran 4 ms.
+        assert times["sync"] == pytest.approx(0.011 + 0.004)
+
+    def test_stream_queues_behind_discrete_op(self, env, device):
+        """The first stream still waits its FIFO turn behind an in-flight
+        discrete write (another client's first chunk, a sync)."""
+        times = {}
+
+        def bulk(env):
+            yield from device.write(1 * MiB)  # holds controller to t=0.01
+
+        def streamer(env):
+            yield env.timeout(0.001)
+            stream = yield from device.begin_stream(1 * MiB)
+            times["admitted"] = env.now
+            stream.close()
+
+        env.process(bulk(env))
+        env.process(streamer(env))
+        env.run()
+        assert times["admitted"] == pytest.approx(0.01)
+
+    def test_stream_capacity_enforced(self, env, device):
+        def proc(env):
+            stream = yield from device.begin_stream(11 * MiB)
+            stream.close()
+
+        with pytest.raises(OutOfSpace):
+            env.run(env.process(proc(env)))
+
+    def test_stream_close_idempotent(self, env, device):
+        def proc(env):
+            stream = yield from device.begin_stream(1 * MiB)
+            stream.close()
+            stream.close()
+
+        env.run(env.process(proc(env)))
+        assert device.used_bytes == 1 * MiB
+        assert device._stream_count == 0
+
+    def test_stream_scale_averages_write_jitter(self, env):
+        """stream_scale(ops) consumes ops draws from the device's .write
+        substream and averages them — the same draws the exact per-chunk
+        path would have burned — so its spread shrinks as 1/sqrt(ops)."""
+        from repro.simkernel import RandomStreams
+
+        spec = StorageSpec(bandwidth=100 * MiB, seek_time=5e-3)
+        device = RaidDevice(env, spec, rng=RandomStreams(7), jitter=0.1)
+        scales = [device.stream_scale(ops=64) for _ in range(20)]
+        assert len(set(scales)) > 1
+        mean = sum(scales) / len(scales)
+        assert abs(mean - 1.0) < 0.02
+        spread = max(scales) - min(scales)
+        assert spread < 0.1  # << the raw 10% per-chunk jitter
+
+    def test_stream_scale_unjittered_is_one(self, env, device):
+        assert device.stream_scale(ops=16) == 1.0
+
+    def test_fluid_property_cached(self, env, device):
+        fluid = device.fluid
+        assert device.fluid is fluid
+        assert fluid.capacity == device.spec.bandwidth
+
+
 class TestJitter:
     def test_jitter_varies_but_stays_positive(self, env):
         from repro.simkernel import RandomStreams
