@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick trace-quick scale-quick flow-quick
+.PHONY: test bench bench-quick trace-quick scale-quick flow-quick chaos-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,17 @@ scale-quick:
 flow-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m repro.bench.executor --jobs 2 --check-flow
 	$(PYTHON) benchmarks/check_kernel_perf.py
+
+# Chaos smoke: a seeded fault plan exercising every injector kind runs
+# twice and must produce bit-identical fault logs / recovery counters /
+# timelines; then the three stacks run faults-off and must match the
+# pinned pre-fault-subsystem timelines exactly (the subsystem is free
+# when disabled).  Finishes with one fault-injected CLI trial so the
+# --faults path stays wired.
+chaos-quick:
+	$(PYTHON) -m repro.faults
+	$(PYTHON) -m repro checkpoint --clients 8 --servers 4 --state-mb 8 \
+		--seed 42 --faults examples/faults/storage_crash.json
 
 # One traced checkpoint trial: phase report, timeline, and Chrome trace
 # JSON (results/trace_quick.json), schema-validated.

@@ -18,7 +18,7 @@ STATE = 16 * MiB
 
 
 def _restart_throughput(impl, n_clients, n_servers, seed=55, collapse=False):
-    cluster, deployment, checkpointer, app = _build(
+    cluster, deployment, checkpointer, app, _injector = _build(
         impl, n_clients, n_servers, seed,
         collapse=collapse, collapse_state_bytes=STATE,
     )

@@ -62,7 +62,7 @@ def main() -> None:
     from repro.storage import SyntheticData
     from repro.iolib import LWFSCheckpointer
 
-    cluster, dep, ck, app = _build("lwfs", n_clients, n_servers, seed=7)
+    cluster, dep, ck, app, _injector = _build("lwfs", n_clients, n_servers, seed=7)
 
     def main(ctx):
         yield from ck.setup(ctx)

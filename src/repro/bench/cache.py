@@ -33,21 +33,22 @@ import tempfile
 from typing import Any, Dict, Optional
 
 from .._version import __version__
+from ..sim.config import RunOptions, env_str
 
 __all__ = ["CACHE_SCHEMA", "TrialCache", "cache_enabled", "default_cache_dir", "trial_key"]
 
 #: Schema marker written into every cache entry; bump to invalidate.
-CACHE_SCHEMA = "repro-trial-cache/v1"
+CACHE_SCHEMA = "repro-trial-cache/v2"
 
 
 def cache_enabled() -> bool:
     """``False`` when ``REPRO_BENCH_CACHE=0`` opts the process out."""
-    return os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
+    return env_str("REPRO_BENCH_CACHE", "1") != "0"
 
 
 def default_cache_dir() -> str:
     """``results/.trial-cache`` at the repo root (``REPRO_BENCH_CACHE_DIR``)."""
-    override = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    override = env_str("REPRO_BENCH_CACHE_DIR")
     if override:
         return override
     here = os.path.dirname(os.path.abspath(__file__))
@@ -70,8 +71,33 @@ def _canonical(value: Any) -> Any:
     return repr(value)
 
 
+def _resolved_options(spec) -> RunOptions:
+    """The trial's effective :class:`RunOptions`, legacy kwargs folded in.
+
+    Mirrors ``repro.bench.harness._merge_options`` (minus the deprecation
+    warnings — the harness owns those) so the cache key sees exactly the
+    configuration the trial will run under, environment resolution
+    included.
+    """
+    from dataclasses import replace
+
+    opts = spec.params.get("options")
+    if not isinstance(opts, RunOptions):
+        opts = RunOptions()
+    legacy = {
+        name: bool(spec.params[name])
+        for name in ("trace", "collapse", "flow")
+        if spec.params.get(name) is not None
+    }
+    if spec.params.get("faults") is not None:
+        legacy["faults"] = spec.params["faults"]
+    if legacy:
+        opts = replace(opts, **legacy)
+    return opts.resolved()
+
+
 def trial_key(spec) -> str:
-    """SHA-256 identity of one trial: spec + version + fast-path switches."""
+    """SHA-256 identity of one trial: spec + version + resolved options."""
     doc = {
         "schema": CACHE_SCHEMA,
         "version": __version__,
@@ -81,14 +107,16 @@ def trial_key(spec) -> str:
         "n_servers": spec.n_servers,
         "seed": spec.seed,
         "params": _canonical(spec.params),
-        # Fast paths are bit-identical by contract, but the contract is
-        # enforced by tests, not physics — keep them out of each other's
+        # The full resolved RunOptions (including the fault plan's content
+        # hash): a cached fault-free outcome can never answer for a
+        # fault-injected spec, and fast paths stay out of each other's
         # cache lines so a regression can never masquerade as a hit.
-        "fastpath": os.environ.get("REPRO_FABRIC_FASTPATH", "1"),
-        "lazy": os.environ.get("REPRO_KERNEL_LAZY", "1"),
-        # REPRO_FLOW overrides the ``flow`` trial param in either
-        # direction, so it must be part of the identity too.
-        "flow": os.environ.get("REPRO_FLOW", ""),
+        "options": _resolved_options(spec).describe(),
+        # Kill switches beat even explicit options, so their raw values
+        # are part of the identity too.
+        "fastpath": env_str("REPRO_FABRIC_FASTPATH", "1"),
+        "lazy": env_str("REPRO_KERNEL_LAZY", "1"),
+        "flow": env_str("REPRO_FLOW", ""),
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -105,8 +133,18 @@ class TrialCache:
 
     @staticmethod
     def cacheable(spec) -> bool:
-        """Traced trials carry their span list as the product: never cache."""
-        return not spec.params.get("trace")
+        """Whether this trial's outcome may come from / go to the store.
+
+        Traced trials carry their span list as the product: never cache.
+        Fault-injected trials carry their fault log the same way (and the
+        caller is usually studying recovery dynamics, not the scalar), so
+        they always simulate.  ``RunOptions(cache=False)`` opts a single
+        spec out explicitly.
+        """
+        opts = _resolved_options(spec)
+        if opts.trace or opts.faults is not None:
+            return False
+        return bool(opts.cache)
 
     def get(self, spec) -> Optional[Dict[str, Any]]:
         """The stored outcome payload for *spec*, or ``None`` on a miss."""

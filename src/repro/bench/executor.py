@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 from pickle import PicklingError
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..sim.config import env_str
+
 __all__ = [
     "TrialSpec",
     "TrialOutcome",
@@ -95,6 +97,10 @@ class TrialOutcome:
     trace: Optional[list] = None
     #: Compact per-kind summary of the trace, sized for BENCH_sweep.json.
     trace_summary: Optional[Dict[str, Any]] = None
+    #: Fault-recovery counters + log when the spec carried a fault plan
+    #: (``retries``, ``recovered_ops``, ``goodput_degraded``, ...).
+    fault_summary: Optional[Dict[str, Any]] = None
+    fault_log: Optional[list] = None
     #: ``True`` when the outcome came from the persistent trial cache
     #: (``wall_clock_s`` is then the cache lookup, not a simulation).
     cached: bool = False
@@ -113,7 +119,7 @@ def create_spec(impl: str, n_clients: int, n_servers: int, seed: int, **params) 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Resolve the worker count: argument > ``REPRO_BENCH_JOBS`` > cores."""
     if jobs is None:
-        raw = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+        raw = env_str("REPRO_BENCH_JOBS").strip()
         if raw:
             try:
                 jobs = int(raw)
@@ -149,6 +155,17 @@ def _run_trial(spec: TrialSpec) -> TrialOutcome:
         from ..trace import summarize
 
         trace_summary = summarize(result.trace)
+    fault_summary = None
+    if result.fault_log is not None:
+        fault_summary = {
+            k: result.extra[k]
+            for k in (
+                "faults_injected", "retries", "recovered_ops", "rpc_dropped",
+                "rpc_duplicated", "degraded_seconds", "goodput_degraded",
+            )
+            if k in result.extra
+        }
+        fault_summary["fault_log_entries"] = len(result.fault_log)
     return TrialOutcome(
         spec=spec,
         value=value,
@@ -159,6 +176,8 @@ def _run_trial(spec: TrialSpec) -> TrialOutcome:
         sim_seconds=float(result.extra.get("sim_seconds", 0.0)),
         trace=result.trace,
         trace_summary=trace_summary,
+        fault_summary=fault_summary,
+        fault_log=result.fault_log,
     )
 
 
@@ -282,7 +301,7 @@ def run_trials(
 
 def sweep_json_path() -> str:
     """Where sweep trajectories are recorded (``REPRO_BENCH_SWEEP_JSON``)."""
-    override = os.environ.get("REPRO_BENCH_SWEEP_JSON")
+    override = env_str("REPRO_BENCH_SWEEP_JSON")
     if override:
         return override
     here = os.path.dirname(os.path.abspath(__file__))
@@ -325,6 +344,8 @@ def _trial_record(o: TrialOutcome) -> Dict[str, Any]:
     }
     if o.trace_summary is not None:
         row["trace_summary"] = o.trace_summary
+    if o.fault_summary is not None:
+        row["fault_summary"] = o.fault_summary
     return row
 
 

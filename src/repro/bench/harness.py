@@ -12,16 +12,17 @@ the figure-of-merit the paper uses:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
-from ..iolib.checkpoint import LWFSCheckpointer, PFSCheckpointer
+from ..iolib.checkpoint import CheckpointError, LWFSCheckpointer, PFSCheckpointer
 from ..machine.presets import dev_cluster
 from ..machine.spec import MachineSpec
 from ..parallel.app import ParallelApp
 from ..pfs.deployment import PFSDeployment
 from ..sim.cluster import SimCluster
-from ..sim.config import SimConfig
+from ..sim.config import RunOptions, SimConfig
 from ..sim.deployment import LWFSDeployment
 from ..storage.data import SyntheticData
 from ..units import MiB
@@ -43,6 +44,10 @@ IMPLEMENTATIONS = ("lwfs", "lustre-fpp", "lustre-shared")
 #: down; throughput in MB/s is size-invariant once transfers amortize.
 PAPER_STATE_BYTES = 512 * MiB
 
+#: Application-level checkpoint attempts under fault injection: an
+#: aborted dump (2PC rollback) is re-driven up to this many times.
+CKPT_ATTEMPTS = 3
+
 
 @dataclass
 class TrialResult:
@@ -61,6 +66,50 @@ class TrialResult:
     #: A plain span list — not the Tracer — so results cross the sweep
     #: executor's process-pool boundary.
     trace: Optional[list] = None
+    #: Chronological fault-injection log when the trial ran with a
+    #: :class:`~repro.faults.FaultPlan` (else None).  Deterministic: two
+    #: runs of the same spec produce identical logs.
+    fault_log: Optional[list] = None
+
+
+#: Legacy boolean kwargs already warned about (each warns exactly once).
+_LEGACY_WARNED: set = set()
+
+
+def _warn_legacy(name: str) -> None:
+    if name in _LEGACY_WARNED:
+        return
+    _LEGACY_WARNED.add(name)
+    warnings.warn(
+        f"the `{name}` kwarg is deprecated; pass options=RunOptions({name}=...) instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def _merge_options(
+    options: Optional[RunOptions],
+    trace=None,
+    collapse=None,
+    flow=None,
+    faults=None,
+) -> RunOptions:
+    """Fold legacy kwargs into a resolved :class:`RunOptions`.
+
+    Legacy booleans still work (warning once per kwarg name) and take
+    explicit-kwarg precedence, matching the documented resolution order.
+    """
+    legacy = {}
+    for name, value in (("trace", trace), ("collapse", collapse), ("flow", flow)):
+        if value is not None:
+            _warn_legacy(name)
+            legacy[name] = bool(value)
+    if faults is not None:
+        legacy["faults"] = faults
+    opts = options if options is not None else RunOptions()
+    if legacy:
+        opts = replace(opts, **legacy)
+    return opts.resolved()
 
 
 @dataclass
@@ -83,15 +132,15 @@ def _build(
     seed: int,
     spec: Optional[MachineSpec] = None,
     config: Optional[SimConfig] = None,
-    collapse: bool = False,
+    opts: Optional[RunOptions] = None,
     collapse_state_bytes: int = 0,
-    flow: bool = False,
     **deploy_kwargs,
 ):
+    opts = opts if opts is not None else RunOptions().resolved()
     spec = spec or dev_cluster()
     config = config or SimConfig()
     config = replace(config, seed=seed)
-    if flow:
+    if opts.flow:
         config = replace(config, flow=True)
     cluster = SimCluster(
         spec,
@@ -99,6 +148,7 @@ def _build(
         compute_nodes=min(spec.compute_nodes, max(1, n_clients)),
         io_nodes=spec.io_nodes,
         service_nodes=1,
+        options=opts,
     )
     if impl == "lwfs":
         deployment = LWFSDeployment(cluster, n_storage_servers=n_servers, **deploy_kwargs)
@@ -111,8 +161,13 @@ def _build(
         checkpointer = PFSCheckpointer(deployment, mode="shared")
     else:
         raise ValueError(f"unknown implementation {impl!r}; expected one of {IMPLEMENTATIONS}")
+    injector = None
+    if opts.faults is not None:
+        from ..faults import FaultInjector
+
+        injector = FaultInjector(cluster, deployment, opts.faults).install()
     plan = None
-    if collapse:
+    if opts.collapse:
         from ..sim.collapse import collapse_plan
 
         plan = collapse_plan(
@@ -121,7 +176,7 @@ def _build(
     app = ParallelApp(
         cluster.env, cluster.fabric, cluster.compute_nodes, n_ranks=n_clients, collapse=plan
     )
-    return cluster, deployment, checkpointer, app
+    return cluster, deployment, checkpointer, app, injector
 
 
 def run_checkpoint_trial(
@@ -132,47 +187,74 @@ def run_checkpoint_trial(
     seed: int = 0,
     spec: Optional[MachineSpec] = None,
     config: Optional[SimConfig] = None,
-    trace: bool = False,
-    collapse: bool = False,
-    flow: bool = False,
+    trace: Optional[bool] = None,
+    collapse: Optional[bool] = None,
+    flow: Optional[bool] = None,
+    options: Optional[RunOptions] = None,
     **deploy_kwargs,
 ) -> TrialResult:
     """One full checkpoint (setup once + one dump), Figure 9 workload.
 
-    With ``trace=True`` a :class:`~repro.trace.Tracer` is installed on the
-    environment before the run and the completed spans land on
-    ``TrialResult.trace``.  Tracing never schedules events, so the
-    simulated timings are bit-identical either way.
+    Run configuration comes in through ``options=RunOptions(...)``; see
+    :class:`~repro.sim.config.RunOptions` for the knobs and the
+    kwarg > ``REPRO_*`` env > default resolution order.  The legacy
+    ``trace``/``collapse``/``flow`` booleans still work (deprecated,
+    warning once per kwarg).
 
-    ``collapse=True`` simulates one representative per symmetric client
-    class (see :mod:`repro.sim.collapse`) — same aggregate figures within
-    jitter tolerance, far fewer simulated processes.
-
-    ``flow=True`` rides the fluid flow engine for the steady-state middle
-    of each bulk stream (see :mod:`repro.network.flow`) — within 1% of the
-    exact chunked timings, far fewer kernel events.  ``REPRO_FLOW=0``
-    overrides it back to the exact path.
+    With ``RunOptions(trace=True)`` a :class:`~repro.trace.Tracer` is
+    installed before the run and the completed spans land on
+    ``TrialResult.trace`` — tracing never schedules events, so simulated
+    timings are bit-identical either way.  ``collapse=True`` simulates
+    one representative per symmetric client class
+    (:mod:`repro.sim.collapse`); ``flow=True`` rides the fluid flow
+    engine (:mod:`repro.network.flow`).  ``faults=FaultPlan(...)``
+    installs the fault injector (:mod:`repro.faults`): the fault log
+    lands on ``TrialResult.fault_log`` and the recovery counters
+    (``retries``, ``recovered_ops``, ``goodput_degraded``, ...) in
+    ``TrialResult.extra``.
     """
-    cluster, deployment, checkpointer, app = _build(
+    opts = _merge_options(options, trace=trace, collapse=collapse, flow=flow)
+    cluster, deployment, checkpointer, app, injector = _build(
         impl, n_clients, n_servers, seed, spec, config,
-        collapse=collapse, collapse_state_bytes=state_bytes, flow=flow,
-        **deploy_kwargs
+        opts=opts, collapse_state_bytes=state_bytes, **deploy_kwargs
     )
-    tracer = _maybe_trace(cluster, trace)
+    tracer = _maybe_trace(cluster, opts.trace)
+
+    # Under fault injection a checkpoint can abort wholesale (2PC presumed
+    # abort wipes the uncommitted creates at a rebooted server); real
+    # checkpoint libraries re-drive the dump, so the harness does too.
+    # All ranks observe the collective outcome, so the retry loop stays
+    # aligned without extra synchronization.
+    attempts = CKPT_ATTEMPTS if injector is not None else 1
 
     def main(ctx):
         yield from checkpointer.setup(ctx)
         yield from ctx.barrier()
-        result = yield from checkpointer.checkpoint(
-            ctx, SyntheticData(state_bytes, seed=ctx.rank)
-        )
-        return result
+        for attempt in range(1, attempts + 1):
+            try:
+                result = yield from checkpointer.checkpoint(
+                    ctx, SyntheticData(state_bytes, seed=ctx.rank)
+                )
+                return result
+            except CheckpointError:
+                if attempt == attempts:
+                    raise
+                if ctx.rank == 0:
+                    injector.note_ckpt_restart()
+                # A revocation storm fails writes closed; re-acquiring
+                # capabilities (fresh serials) is part of the re-drive.
+                refresh = getattr(checkpointer, "refresh_caps", None)
+                if refresh is not None:
+                    yield from refresh(ctx)
 
     results = app.run(main)
     max_elapsed = max(r.elapsed for r in results)
     mean_elapsed = sum(r.elapsed for r in results) / len(results)
     extra = _kernel_stats(cluster)
     extra.update(_collapse_stats(app))
+    if injector is not None:
+        injector.finish()
+        extra.update(injector.stats())
     return TrialResult(
         impl=impl,
         n_clients=n_clients,
@@ -184,6 +266,7 @@ def run_checkpoint_trial(
         create_max_elapsed=max(r.create_elapsed for r in results),
         extra=extra,
         trace=tracer.spans if tracer is not None else None,
+        fault_log=injector.log if injector is not None else None,
     )
 
 
@@ -195,17 +278,22 @@ def run_create_trial(
     seed: int = 0,
     spec: Optional[MachineSpec] = None,
     config: Optional[SimConfig] = None,
-    trace: bool = False,
-    collapse: bool = False,
-    flow: bool = False,
+    trace: Optional[bool] = None,
+    collapse: Optional[bool] = None,
+    flow: Optional[bool] = None,
+    options: Optional[RunOptions] = None,
     **deploy_kwargs,
 ) -> TrialResult:
-    """Create-only phase (Figure 10 workload): empty objects/files."""
-    cluster, deployment, checkpointer, app = _build(
-        impl, n_clients, n_servers, seed, spec, config,
-        collapse=collapse, flow=flow, **deploy_kwargs
+    """Create-only phase (Figure 10 workload): empty objects/files.
+
+    Accepts the same ``options=RunOptions(...)`` configuration (and the
+    same deprecated legacy booleans) as :func:`run_checkpoint_trial`.
+    """
+    opts = _merge_options(options, trace=trace, collapse=collapse, flow=flow)
+    cluster, deployment, checkpointer, app, injector = _build(
+        impl, n_clients, n_servers, seed, spec, config, opts=opts, **deploy_kwargs
     )
-    tracer = _maybe_trace(cluster, trace)
+    tracer = _maybe_trace(cluster, opts.trace)
 
     def main(ctx):
         yield from checkpointer.setup(ctx)
@@ -219,6 +307,9 @@ def run_create_trial(
     extra = _kernel_stats(cluster)
     extra.update(_collapse_stats(app))
     extra["creates_per_s"] = total_creates / max_elapsed
+    if injector is not None:
+        injector.finish()
+        extra.update(injector.stats())
     return TrialResult(
         impl=impl,
         n_clients=n_clients,
@@ -229,6 +320,7 @@ def run_create_trial(
         throughput_mb_s=0.0,
         extra=extra,
         trace=tracer.spans if tracer is not None else None,
+        fault_log=injector.log if injector is not None else None,
     )
 
 

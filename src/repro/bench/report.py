@@ -12,6 +12,7 @@ import json
 import os
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..sim.config import env_str
 from .harness import SweepPoint
 
 __all__ = ["format_series_table", "format_rows", "save_json", "results_dir"]
@@ -19,7 +20,7 @@ __all__ = ["format_series_table", "format_rows", "save_json", "results_dir"]
 
 def results_dir() -> str:
     """The repository's results directory (created on demand)."""
-    root = os.environ.get("REPRO_RESULTS_DIR")
+    root = env_str("REPRO_RESULTS_DIR") or None
     if root is None:
         here = os.path.dirname(os.path.abspath(__file__))
         root = os.path.normpath(os.path.join(here, "..", "..", "..", "results"))

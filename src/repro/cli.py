@@ -60,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flow-level bulk transfers: fluid fair-share streams for "
                             "the steady-state middle of each dump (REPRO_FLOW=0 "
                             "overrides back to the exact chunked path)")
+    point.add_argument("--faults", default=None, metavar="PLAN.json",
+                       help="inject the faults scheduled in this JSON plan "
+                            "(see repro.faults; also REPRO_FAULTS=PLAN.json) "
+                            "and print the fault/recovery summary")
 
     create = sub.add_parser("create", help="one Fig. 10 point (creates/s)")
     create.add_argument("--impl", default="lwfs", choices=["lwfs", "lustre-fpp"])
@@ -132,6 +136,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_fault_summary(result) -> None:
+    """Print the injected-fault/recovery summary of a fault-injected trial."""
+    e = result.extra
+    print(
+        f"faults: {e['faults_injected']:.0f} injected, "
+        f"{e['retries']:.0f} retries, {e['recovered_ops']:.0f} ops recovered, "
+        f"{e['rpc_dropped']:.0f} dropped, {e['rpc_duplicated']:.0f} duplicated, "
+        f"{e['ckpt_restarts']:.0f} checkpoint restarts; "
+        f"degraded {e['degraded_seconds']:.3f} s @ "
+        f"{e['goodput_degraded']:.1f} MiB/s goodput"
+    )
+    for entry in result.fault_log:
+        detail = {k: v for k, v in entry.items()
+                  if k not in ("t", "kind", "target", "action")}
+        extras = (" " + " ".join(f"{k}={v}" for k, v in detail.items())) if detail else ""
+        print(f"  t={entry['t']:.4f} {entry['kind']:13s} {entry['action']:8s} "
+              f"{entry['target']}{extras}")
+
+
 def _export_trace(result, path: str) -> None:
     """Write a traced trial's Chrome JSON and print the phase report."""
     from .trace import PhaseReport, summarize, write_chrome_trace
@@ -176,10 +199,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_rows("Table 2 — Red Storm performance (paper vs measured)", rows))
 
     elif args.command == "checkpoint":
+        from .sim.config import RunOptions
+
+        options = RunOptions(
+            trace=True if args.trace is not None else None,
+            collapse=True if args.collapse else None,
+            flow=True if args.flow else None,
+            faults=args.faults,
+        )
         result = run_checkpoint_trial(
             args.impl, args.clients, args.servers,
-            state_bytes=args.state_mb * MiB, seed=args.seed,
-            trace=args.trace is not None, collapse=args.collapse, flow=args.flow,
+            state_bytes=args.state_mb * MiB, seed=args.seed, options=options,
         )
         collapsed = ""
         if args.collapse:
@@ -193,14 +223,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"(max rank time {result.max_elapsed:.3f} s, "
             f"create phase {result.create_max_elapsed * 1e3:.2f} ms)" + collapsed
         )
+        if result.fault_log is not None:
+            _print_fault_summary(result)
         if args.trace is not None:
             _export_trace(result, args.trace)
 
     elif args.command == "create":
+        from .sim.config import RunOptions
+
         result = run_create_trial(
             args.impl, args.clients, args.servers,
             creates_per_client=args.per_client, seed=args.seed,
-            collapse=args.collapse,
+            options=RunOptions(collapse=True if args.collapse else None),
         )
         collapsed = ""
         if args.collapse:

@@ -29,6 +29,7 @@ __all__ = [
     "NoSuchName",
     "TransactionError",
     "TransactionAborted",
+    "TxnAborted",
     "LockError",
     "LockConflict",
     "PFSError",
@@ -36,8 +37,11 @@ __all__ = [
     "NoSuchFile",
     "SimulationError",
     "NodeFailure",
+    "ServerCrashed",
     "NetworkError",
     "RPCTimeout",
+    "LinkDown",
+    "RetryExhausted",
 ]
 
 
@@ -125,6 +129,10 @@ class TransactionAborted(TransactionError):
     """The transaction was rolled back (participant veto or failure)."""
 
 
+#: Short alias used by the fault-injection layer and its docs.
+TxnAborted = TransactionAborted
+
+
 class LockError(ReproError):
     """Base class for lock-service failures."""
 
@@ -155,9 +163,26 @@ class NodeFailure(SimulationError):
     """A simulated node was killed (failure injection)."""
 
 
+class ServerCrashed(SimulationError):
+    """A server crashed while the operation was in flight.
+
+    Thrown into in-flight handler processes by the fault injector so held
+    resources (disk controller, NIC pipes, thread slots) unwind instead of
+    completing work on a dead machine.
+    """
+
+
 class NetworkError(SimulationError):
     """Message could not be delivered."""
 
 
 class RPCTimeout(NetworkError):
     """An RPC did not complete within its deadline."""
+
+
+class LinkDown(NetworkError):
+    """The fabric path between two nodes is partitioned (fault injection)."""
+
+
+class RetryExhausted(NetworkError):
+    """An RPC failed every attempt its retry policy allowed."""

@@ -1,0 +1,147 @@
+"""``python -m repro.faults``: the chaos determinism gate.
+
+What ``make chaos-quick`` / CI runs.  Two checks, both cheap:
+
+1. **Seeded chaos is reproducible** — a fault plan exercising every
+   injector kind (crash/restart, disk stall, link degrade, revocation
+   storm, stochastic drop/duplicate) runs twice at the same seed and must
+   produce bit-identical fault logs, recovery counters, and timelines.
+2. **Faults-off is free** — with no plan installed, the three Fig. 9
+   stacks must reproduce the pinned pre-fault-subsystem timelines
+   exactly: the whole subsystem costs nothing when disabled.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from ..units import MiB
+
+#: Pinned faults-off reference timelines (max rank time, seconds) for
+#: seed=42, 8 clients x 8 MiB over 4 servers — recorded before the fault
+#: subsystem existed.  Any drift means a fault hook leaked into the
+#: fault-free path.
+FAULTS_OFF_PINNED = {
+    "lwfs": 0.2059247186632824,
+    "lustre-fpp": 0.20445342150380083,
+    "lustre-shared": 0.3098345331296523,
+}
+
+N_CLIENTS, N_SERVERS = 8, 4
+STATE = 8 * MiB
+SEED = 42
+
+
+def _chaos_plan():
+    """One plan touching every fault kind plus the stochastic RPC layer."""
+    from .plan import FaultEvent, FaultPlan, RetryPolicy
+
+    return FaultPlan(
+        events=(
+            FaultEvent(kind="server_crash", at=0.04, target="stor0", duration=0.05),
+            FaultEvent(kind="disk_stall", at=0.02, target="stor1", duration=0.03),
+            FaultEvent(kind="link_degrade", at=0.06, target="stor2",
+                       duration=0.05, factor=0.25),
+            FaultEvent(kind="revoke_storm", at=0.08, target="authz"),
+        ),
+        rpc_drop_rate=0.08,
+        rpc_dup_rate=0.08,
+        retry=RetryPolicy(timeout=0.25),
+        seed=SEED,
+    )
+
+
+def _mds_plan():
+    from .plan import FaultEvent, FaultPlan, RetryPolicy
+
+    return FaultPlan(
+        events=(
+            FaultEvent(kind="server_crash", at=0.0, target="mds", duration=0.05),
+        ),
+        retry=RetryPolicy(timeout=0.25),
+        seed=SEED,
+    )
+
+
+def _fingerprint(result) -> dict:
+    """Everything that must be bit-identical between two seeded runs."""
+    return {
+        "max_elapsed": result.max_elapsed,
+        "mean_elapsed": result.mean_elapsed,
+        "events_processed": result.extra.get("events_processed"),
+        "stats": {k: v for k, v in sorted(result.extra.items())},
+        "fault_log": result.fault_log,
+    }
+
+
+def _check_chaos_determinism(impl: str, plan) -> bool:
+    from ..bench import run_checkpoint_trial
+    from ..sim.config import RunOptions
+
+    runs = [
+        run_checkpoint_trial(
+            impl, N_CLIENTS, N_SERVERS, state_bytes=STATE, seed=SEED,
+            options=RunOptions(faults=plan),
+        )
+        for _ in range(2)
+    ]
+    a, b = (_fingerprint(r) for r in runs)
+    if a != b:
+        for key in a:
+            if a[key] != b[key]:
+                print(f"CHAOS MISMATCH [{impl}] {key}:\n  run1={a[key]!r}\n  run2={b[key]!r}")
+        return False
+    s = runs[0].extra
+    print(
+        f"chaos ok [{impl}]: 2 runs bit-identical — "
+        f"{len(runs[0].fault_log)} log entries, "
+        f"{s['faults_injected']:.0f} faults, {s['retries']:.0f} retries, "
+        f"{s['recovered_ops']:.0f} recovered, {s['rpc_dropped']:.0f} dropped, "
+        f"max rank time {runs[0].max_elapsed:.4f} s"
+    )
+    return True
+
+
+def _check_faults_off() -> bool:
+    from ..bench import run_checkpoint_trial
+
+    ok = True
+    for impl, pinned in FAULTS_OFF_PINNED.items():
+        r = run_checkpoint_trial(impl, N_CLIENTS, N_SERVERS, state_bytes=STATE, seed=SEED)
+        if r.max_elapsed != pinned:
+            print(
+                f"FAULTS-OFF DRIFT [{impl}]: max rank time {r.max_elapsed!r}, "
+                f"pinned pre-fault-subsystem value {pinned!r}"
+            )
+            ok = False
+    if ok:
+        print(
+            f"faults-off ok: {len(FAULTS_OFF_PINNED)} stacks bit-identical "
+            "to the pre-fault-subsystem timelines"
+        )
+    return ok
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Chaos determinism gate: seeded fault injection must be "
+                    "bit-reproducible, and faults-off must match the pinned "
+                    "fault-free timelines.",
+    )
+    parser.add_argument(
+        "--skip-faults-off", action="store_true",
+        help="only check seeded-chaos determinism (skip the pinned baselines)",
+    )
+    args = parser.parse_args(argv)
+
+    ok = _check_chaos_determinism("lwfs", _chaos_plan())
+    ok = _check_chaos_determinism("lustre-shared", _mds_plan()) and ok
+    if not args.skip_faults_off:
+        ok = _check_faults_off() and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

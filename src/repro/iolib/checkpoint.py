@@ -128,6 +128,23 @@ class LWFSCheckpointer:
         cap_bytes = self.deployment.cluster.config.cap_bytes
         self.cred, self.cid, self.cap = yield from ctx.bcast(bundle, nbytes=3 * cap_bytes)
 
+    def refresh_caps(self, ctx: RankContext):
+        """Re-acquire capabilities after a revocation.
+
+        Revocation kills outstanding serials, not the container policy
+        (§3.1.3): holders fail closed and must come back to the
+        authorization server for a fresh capability.  Same log-scatter
+        shape as :meth:`setup` — rank 0 re-requests, everyone else gets
+        the new cap by broadcast.
+        """
+        client = self.client(ctx)
+        if ctx.rank == 0:
+            cap = yield from client.get_caps(self.cred, self.cid, OpMask.ALL)
+        else:
+            cap = None
+        cap_bytes = self.deployment.cluster.config.cap_bytes
+        self.cap = yield from ctx.bcast(cap, nbytes=cap_bytes)
+
     # -- CHECKPOINT() (Figure 8 right column) -----------------------------------
     def checkpoint(self, ctx: RankContext, state: Piece, path: Optional[str] = None):
         """One checkpoint of *state*; returns a :class:`CheckpointResult`."""

@@ -18,7 +18,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from ..errors import NetworkError, NodeFailure
+from ..errors import LinkDown, NetworkError, NodeFailure
 from ..machine.node import Node
 from ..machine.topology import Topology, make_topology
 from ..simkernel import Counter, Environment, Event
@@ -72,6 +72,10 @@ class Fabric:
         self._n_nodes_hint = n_nodes_hint
         self.counters = Counter()
         self._flow_network = None
+        #: Per-fabric override of the module-level FASTPATH switch, so a
+        #: :class:`~repro.sim.config.RunOptions` can pick the reference
+        #: queued path for one run.  The env kill switch still wins.
+        self.fastpath = FASTPATH
 
     @property
     def flows(self):
@@ -179,6 +183,16 @@ class Fabric:
             rate = min(tx_pipe.bandwidth, rx_pipe.bandwidth)
             duration = wire_bytes / rate
 
+            faults = env.faults
+            if faults is not None:
+                if faults.blocked(msg.src, msg.dst):
+                    raise LinkDown(
+                        f"partition: node {msg.src} cannot reach node {msg.dst}"
+                    )
+                factor = faults.link_factor(msg.src, msg.dst)
+                if factor < 1.0:
+                    duration /= factor
+
             if mult > 1:
                 # Symmetric-client collapsing: this transfer stands for
                 # ``mult`` transfers of *different* class members.  In the
@@ -234,7 +248,7 @@ class Fabric:
                     )
                 return msg
 
-            tx_tok = tx_pipe._slot.try_acquire() if FASTPATH else None
+            tx_tok = tx_pipe._slot.try_acquire() if self.fastpath else None
             rx_tok = None
             if tx_tok is not None:
                 rx_tok = rx_pipe._slot.try_acquire()

@@ -24,7 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from ..errors import NetworkError
+from ..errors import NetworkError, NodeFailure
 from ..machine.node import Node
 from ..simkernel import Environment, Event, Store
 from .fabric import Fabric, Message
@@ -174,10 +174,10 @@ class PortalsEndpoint:
         the push serializes ``wire_weight * length`` bytes and counts as
         that many messages.  At 1, exactly the unweighted transfer.
         """
-        return self.env.process(
-            self._put_proc(md, target_nid, pt_index, match_bits, hdr_data, offset, wire_weight),
-            name=f"ptl_put->{target_nid}",
-        )
+        gen = self._put_proc(md, target_nid, pt_index, match_bits, hdr_data, offset, wire_weight)
+        if self.env.faults is not None:
+            gen = self._shielded(gen)
+        return self.env.process(gen, name=f"ptl_put->{target_nid}")
 
     def put_inline(
         self,
@@ -275,10 +275,10 @@ class PortalsEndpoint:
         ``wire_weight * nbytes`` on the wire and the fabric counts it as
         that many messages.  At 1, exactly the unweighted transfer.
         """
-        return self.env.process(
-            self._get_proc(md, target_nid, pt_index, match_bits, length, wire_weight),
-            name=f"ptl_get<-{target_nid}",
-        )
+        gen = self._get_proc(md, target_nid, pt_index, match_bits, length, wire_weight)
+        if self.env.faults is not None:
+            gen = self._shielded(gen)
+        return self.env.process(gen, name=f"ptl_get<-{target_nid}")
 
     def get_inline(
         self,
@@ -297,6 +297,23 @@ class PortalsEndpoint:
         if self.env.tracer is None:
             return self._get_inner(md, target_nid, pt_index, match_bits, length, wire_weight)
         return self._get_traced(md, target_nid, pt_index, match_bits, length, wire_weight)
+
+    def _shielded(self, gen):
+        """Fault-injection wrapper for spawned transfer processes.
+
+        When this endpoint's node is crash-killed mid-transfer, the
+        transfer raises :class:`NodeFailure` — but the handler process
+        that was waiting on it has already been crash-interrupted, so the
+        failure would reach the kernel un-waited and un-defused.  A dead
+        machine's DMA engine simply stops: swallow the failure iff our
+        own node is down, propagate it otherwise.
+        """
+        try:
+            return (yield from gen)
+        except NodeFailure:
+            if self.node.alive:
+                raise
+            return None
 
     def _get_traced(self, md, target_nid, pt_index, match_bits, length, wire_weight):
         tracer = self.env.tracer

@@ -20,9 +20,17 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Optional
 
-from ..errors import NetworkError, NodeFailure, RPCTimeout
+from ..errors import (
+    LinkDown,
+    NetworkError,
+    NodeFailure,
+    RetryExhausted,
+    RPCTimeout,
+    ServerCrashed,
+)
 from ..machine.node import Node
 from ..simkernel import Environment, Store
+from ..simkernel.process import Interrupt
 from .fabric import Fabric
 from .portals import MemoryDescriptor, PortalsEndpoint, install_portals
 
@@ -98,6 +106,21 @@ class RpcService:
         )
         self._dispatcher = None
         self.requests_served = 0
+        #: Handler processes in flight; tracked only while a fault
+        #: injector is installed, so it can crash-interrupt them.  A dict
+        #: (not a set): crash interrupts iterate it, and insertion order
+        #: is deterministic where address-based set order is not.
+        self._inflight: dict = {}
+        #: Exactly-once layer (fault runs only): requests being executed
+        #: and the reply cache for completed ones, both keyed by
+        #: ``(reply_node, req_id)``.  Retries reuse the request id, so a
+        #: retransmission of a request still executing is absorbed, and
+        #: one that already completed gets its cached reply resent
+        #: (Lustre-style reply reconstruction) instead of re-executing.
+        #: Both are in-memory: a crash wipes them, and a post-reboot
+        #: retransmission re-executes against recovered durable state.
+        self._executing: dict = {}
+        self._replied: dict = {}
 
     @property
     def addr(self) -> int:
@@ -130,9 +153,86 @@ class RpcService:
                 return
             event = yield self.inbox.get()
             request: RpcRequest = event.payload
-            self.env.process(
+            faults = self.env.faults
+            if faults is None:
+                self.env.process(
+                    self._handle(request), name=f"svc:{self.name}:{request.op}:{request.req_id}"
+                )
+                continue
+            key = (request.reply_node, request.req_id)
+            if key in self._replied:
+                self.env.process(
+                    self._resend_reply(request),
+                    name=f"svc:{self.name}:{request.op}:{request.req_id}:resend",
+                )
+                continue
+            if key in self._executing:
+                self.env.process(
+                    self._absorb_duplicate(request),
+                    name=f"svc:{self.name}:{request.op}:{request.req_id}:dup",
+                )
+                continue
+            proc = self.env.process(
                 self._handle(request), name=f"svc:{self.name}:{request.op}:{request.req_id}"
             )
+            self._track(key, proc)
+            if faults.duplicate_request(self.name, request.op):
+                self.env.process(
+                    self._absorb_duplicate(request),
+                    name=f"svc:{self.name}:{request.op}:dup",
+                )
+
+    def _track(self, key, proc) -> None:
+        """Register an in-flight handler for crash interruption and dedup.
+
+        The completion callback also defuses crash interrupts that escape
+        the handler (e.g. thrown while it was sending its reply): a
+        crashed server's dying work must not crash the simulation.
+        """
+        self._inflight[proc] = None
+        self._executing[key] = proc
+
+        def _done(ev, p=proc, k=key):
+            self._inflight.pop(p, None)
+            if self._executing.get(k) is p:
+                del self._executing[k]
+            if not ev._ok and isinstance(ev._value, (Interrupt, ServerCrashed)):
+                ev._defused = True
+
+        proc.callbacks.append(_done)
+
+    def _absorb_duplicate(self, request: RpcRequest):
+        """A duplicated (retransmitted) request delivery.
+
+        The server's exactly-once layer recognizes the request id and
+        discards the duplicate — after paying the unmarshal/dedup host
+        work, which is the real cost duplicates impose.  The original
+        execution's reply satisfies the caller's (re-armed) match entry.
+        """
+        try:
+            yield from self.node.compute(self.node.msg_overhead_time())
+        except NodeFailure:
+            pass  # crashed mid-dedup; the caller's timeout handles it
+
+    def _resend_reply(self, request: RpcRequest):
+        """Reply reconstruction: a retransmission of a completed request.
+
+        The operation must not run twice (its bulk match entries are
+        consumed, its side effects applied), so the cached reply is sent
+        again after the unmarshal/dedup host work.
+        """
+        try:
+            yield from self.node.compute(self.node.msg_overhead_time())
+        except NodeFailure:
+            return  # crashed mid-dedup; the caller's timeout handles it
+        reply = self._replied.get((request.reply_node, request.req_id))
+        if reply is None or not self.node.alive:
+            return
+        md = MemoryDescriptor(length=reply.size, payload=reply)
+        try:
+            yield from self.endpoint.put_inline(md, request.reply_node, REPLY_PORTAL, request.req_id)
+        except (NodeFailure, NetworkError):
+            pass  # caller gone or no longer waiting; drop it
 
     def _handle(self, request: RpcRequest):
         # Not itself a generator: picks the handler generator so the
@@ -169,12 +269,19 @@ class RpcService:
             # Our node (or a dependency) died: no reply will be sent; the
             # client's timeout surfaces the failure.
             return
+        except Interrupt:
+            # Crash-interrupted by the fault injector: this execution
+            # evaporates with the machine — no reply, no reply-cache
+            # entry.  The client's timeout drives the retransmission.
+            return
         except GeneratorExit:  # environment teardown, not a handler error
             raise
         except BaseException as exc:  # noqa: BLE001 - marshalled to caller
             reply = RpcReply(ok=False, error=exc)
 
         self.requests_served += 1
+        if self.env.faults is not None:
+            self._replied[(request.reply_node, request.req_id)] = reply
         if not self.node.alive:
             return  # died before replying; client times out
         md = MemoryDescriptor(length=reply.size, payload=reply)
@@ -182,6 +289,11 @@ class RpcService:
             yield from self.endpoint.put_inline(md, request.reply_node, REPLY_PORTAL, request.req_id)
         except NodeFailure:
             pass  # caller died; drop the reply
+        except NetworkError:
+            # No match entry: the caller gave up (timeout detach, retry in
+            # flight) before this reply landed.  Portals semantics drop an
+            # unmatched put at the target; so do we.
+            pass
 
 
 class RpcClient:
@@ -214,9 +326,74 @@ class RpcClient:
         """
         # Returns (not yields) the generator so the tracing-disabled path
         # keeps its exact pre-trace frame count.
+        faults = self.env.faults
+        if faults is not None and faults.retry is not None:
+            return self._call_retry(faults, target_node, service, op, timeout, request_size, args)
         if self.env.tracer is None:
             return self._call_inner(target_node, service, op, timeout, request_size, None, args)
         return self._call_traced(target_node, service, op, timeout, request_size, args)
+
+    #: Failures worth retrying: local timeouts and transport-level faults.
+    #: Errors marshalled back from a *running* handler are not — the
+    #: operation executed and failed.
+    RETRYABLE = (RPCTimeout, NodeFailure, LinkDown, ServerCrashed)
+
+    def _call_retry(
+        self,
+        faults,
+        target_node: int,
+        service: str,
+        op: str,
+        timeout: Optional[float],
+        request_size: int,
+        args: Dict[str, Any],
+    ) -> Generator:
+        """The call under a retry policy: exponential backoff with jitter.
+
+        Active only while a fault plan with a :class:`RetryPolicy` is
+        installed; each backoff wait draws its jitter from the injector's
+        dedicated substream, so faulted runs stay deterministic.
+        """
+        policy = faults.retry
+        if policy.timeout is not None:
+            timeout = policy.timeout if timeout is None else min(timeout, policy.timeout)
+        delay = policy.base_delay
+        # One request id for every attempt: the server's exactly-once
+        # layer recognizes retransmissions by it, and a late reply to an
+        # earlier attempt satisfies a later attempt's match entry.
+        req_id = next(self._req_ids)
+        for attempt in range(1, policy.attempts + 1):
+            try:
+                if self.env.tracer is None:
+                    value = yield from self._call_inner(
+                        target_node, service, op, timeout, request_size, None, args,
+                        req_id=req_id,
+                    )
+                else:
+                    value = yield from self._call_traced(
+                        target_node, service, op, timeout, request_size, args,
+                        req_id=req_id,
+                    )
+            except self.RETRYABLE as exc:
+                if attempt >= policy.attempts:
+                    raise RetryExhausted(
+                        f"{service}.{op} on node {target_node} failed after "
+                        f"{attempt} attempts: {exc}"
+                    ) from exc
+                faults.note_retry()
+                tracer = self.env.tracer
+                t0 = self.env._now if tracer is not None else 0.0
+                yield self.env.timeout(min(delay, policy.max_delay) * faults.backoff_scale())
+                if tracer is not None:
+                    tracer.record(
+                        f"retry:{service}.{op}", start=t0, kind="retry",
+                        node=self.node.node_id, service=service, op=op, attempt=attempt,
+                    )
+                delay = min(delay * 2, policy.max_delay)
+                continue
+            if attempt > 1:
+                faults.note_recovered()
+            return value
 
     def _call_traced(
         self,
@@ -226,6 +403,7 @@ class RpcClient:
         timeout: Optional[float],
         request_size: int,
         args: Dict[str, Any],
+        req_id: Optional[int] = None,
     ) -> Generator:
         tracer = self.env.tracer
         span, prev = tracer.push(
@@ -234,7 +412,8 @@ class RpcClient:
         )
         try:
             return (yield from self._call_inner(
-                target_node, service, op, timeout, request_size, span.span_id, args
+                target_node, service, op, timeout, request_size, span.span_id, args,
+                req_id=req_id,
             ))
         finally:
             tracer.pop(span, prev)
@@ -248,8 +427,10 @@ class RpcClient:
         request_size: int,
         trace_parent: Optional[int],
         args: Dict[str, Any],
+        req_id: Optional[int] = None,
     ) -> Generator:
-        req_id = next(self._req_ids)
+        if req_id is None:
+            req_id = next(self._req_ids)
         reply_q: Store = self.endpoint.new_eq()
         reply_md = MemoryDescriptor(length=REPLY_BYTES, eq=reply_q)
         me = self.endpoint.attach(REPLY_PORTAL, req_id, reply_md, use_once=True)
@@ -262,6 +443,16 @@ class RpcClient:
             size=request_size,
             trace_parent=trace_parent,
         )
+        faults = self.env.faults
+        if faults is not None and timeout is not None and faults.drop_request(service, op):
+            # The request is lost on the wire: the client burns its full
+            # timeout waiting for a reply that never comes.
+            yield self.env.timeout(timeout)
+            self.endpoint.detach(REPLY_PORTAL, me)
+            raise RPCTimeout(
+                f"{service}.{op} request to node {target_node} dropped (fault injection)"
+            )
+
         send_md = MemoryDescriptor(length=request_size, payload=request)
         try:
             yield from self.endpoint.put_inline(

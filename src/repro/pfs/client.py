@@ -183,7 +183,7 @@ class SimPFSClient:
         ost = fh.layout.osts[first.ost_index]
         bits = next_data_bits()
         md = MemoryDescriptor(length=first.length, payload=piece)
-        me = self.portals.attach(DATA_PORTAL, bits, md, use_once=True)
+        me = self.portals.attach(DATA_PORTAL, bits, md, use_once=self.env.faults is None)
         try:
             yield from self._ost(
                 ost, "write",
@@ -200,7 +200,7 @@ class SimPFSClient:
         yield from self._vfs()
         bits = next_data_bits()
         md = MemoryDescriptor(length=length, payload=rest)
-        me = self.portals.attach(DATA_PORTAL, bits, md, use_once=True)
+        me = self.portals.attach(DATA_PORTAL, bits, md, use_once=self.env.faults is None)
         try:
             yield from self._ost(
                 ost, "write_stream",
@@ -224,7 +224,7 @@ class SimPFSClient:
             ost = fh.layout.osts[frag.ost_index]
             bits = next_data_bits()
             md = MemoryDescriptor(length=frag.length, payload=piece)
-            me = self.portals.attach(DATA_PORTAL, bits, md, use_once=True)
+            me = self.portals.attach(DATA_PORTAL, bits, md, use_once=self.env.faults is None)
             try:
                 yield from self._ost(
                     ost,
@@ -279,7 +279,7 @@ class SimPFSClient:
             bits = next_data_bits()
             recv_q = self.portals.new_eq()
             md = MemoryDescriptor(length=frag.length, eq=recv_q)
-            me = self.portals.attach(DATA_PORTAL, bits, md, use_once=True)
+            me = self.portals.attach(DATA_PORTAL, bits, md, use_once=self.env.faults is None)
             try:
                 yield from self._ost(
                     ost,

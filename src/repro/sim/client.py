@@ -194,7 +194,7 @@ class SimLWFSClient:
         node_id, svc = self._storage(oid.server_hint)
         bits = next_data_bits()
         md = MemoryDescriptor(length=length, payload=rest)
-        me = self.portals.attach(DATA_PORTAL, bits, md, use_once=True)
+        me = self.portals.attach(DATA_PORTAL, bits, md, use_once=self.env.faults is None)
         try:
             yield from self._call(
                 node_id, svc, "write_stream",
@@ -222,7 +222,7 @@ class SimLWFSClient:
         if self.deployment.server_directed:
             bits = next_data_bits()
             md = MemoryDescriptor(length=length, payload=piece)
-            me = self.portals.attach(DATA_PORTAL, bits, md, use_once=True)
+            me = self.portals.attach(DATA_PORTAL, bits, md, use_once=self.env.faults is None)
             try:
                 result = yield from self._call(
                     node_id, svc, "write",
@@ -288,7 +288,7 @@ class SimLWFSClient:
             bits = next_data_bits()
             recv_q = self.portals.new_eq()
             md = MemoryDescriptor(length=n, eq=recv_q)
-            me = self.portals.attach(DATA_PORTAL, bits, md, use_once=True)
+            me = self.portals.attach(DATA_PORTAL, bits, md, use_once=self.env.faults is None)
             node_id, svc = self._storage(oid.server_hint)
             try:
                 yield from self._call(

@@ -12,10 +12,10 @@ from typing import Dict, List, Optional
 
 from ..machine.node import Node
 from ..machine.spec import MachineSpec, NodeKind
-from ..simkernel import Environment, RandomStreams
-from ..network.fabric import Fabric
+from ..simkernel import LAZY, Environment, RandomStreams
+from ..network.fabric import FASTPATH, Fabric
 from ..storage.device import RaidDevice
-from .config import SimConfig
+from .config import RunOptions, SimConfig
 
 __all__ = ["SimCluster"]
 
@@ -36,10 +36,17 @@ class SimCluster:
         compute_nodes: Optional[int] = None,
         io_nodes: Optional[int] = None,
         service_nodes: Optional[int] = None,
+        options: Optional[RunOptions] = None,
     ) -> None:
         self.spec = spec
         self.config = config or SimConfig()
-        self.env = Environment()
+        self.options = options
+        if options is None:
+            self.env = Environment()
+        else:
+            # Kill switches still win: the env can force the reference
+            # paths off even when the options ask for the fast ones.
+            self.env = Environment(lazy=bool(options.lazy_kernel) and LAZY)
         self.rng = RandomStreams(self.config.seed)
 
         n_service = service_nodes if service_nodes is not None else spec.service_nodes
@@ -53,6 +60,8 @@ class SimCluster:
             hop_latency=spec.hop_latency,
             n_nodes_hint=total,
         )
+        if options is not None:
+            self.fabric.fastpath = bool(options.fastpath) and FASTPATH
 
         self.service_nodes: List[Node] = []
         self.io_nodes: List[Node] = []

@@ -1,18 +1,54 @@
-"""Cost calibration for the simulated LWFS and baseline-PFS deployments.
+"""Cost calibration and run options for the simulated deployments.
 
 All host-side service times live here so calibration is one file.  The
 defaults target the paper's dev cluster (§4, DESIGN.md §5): LWFS object
 creates around 0.2 ms at the owning server, Lustre-like MDS creates around
 1.3 ms serialized at one node, and 4 MiB bulk chunks.
+
+This module is also the single source of truth for *run configuration*:
+:class:`RunOptions` unifies the knobs that used to be scattered across
+harness kwargs, CLI flags, and ``REPRO_*`` environment variables, with
+one documented resolution order per knob:
+
+1. an explicit value (``RunOptions(flow=True)`` or a legacy kwarg),
+2. the corresponding ``REPRO_*`` environment variable,
+3. the built-in default.
+
+Exception — kill switches: ``REPRO_FABRIC_FASTPATH=0``,
+``REPRO_KERNEL_LAZY=0`` and ``REPRO_FLOW=0`` remain absolute overrides
+(they force the bit-identical reference paths for equivalence tests) and
+are read at their point of use, because :mod:`repro.simkernel` and
+:mod:`repro.network` cannot import this module without a cycle.  Every
+other ``REPRO_*`` read routes through :func:`env_str` here.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..units import KiB, MiB, USEC
 
-__all__ = ["LWFSCosts", "PFSCosts", "SimConfig"]
+__all__ = ["LWFSCosts", "PFSCosts", "RunOptions", "SimConfig", "env_str"]
+
+
+def env_str(name: str, default: str = "") -> str:
+    """The single gateway for ``REPRO_*`` environment reads.
+
+    Keeping every non-kill-switch read behind this function makes the
+    resolution order auditable: grep for ``os.environ`` finds only this
+    site and the documented kill switches.
+    """
+    return os.environ.get(name, default)
+
+
+def _env_flag(name: str) -> Optional[bool]:
+    """``REPRO_*`` boolean: ``0``/``false`` -> False, other non-empty -> True."""
+    raw = env_str(name).strip().lower()
+    if not raw:
+        return None
+    return raw not in ("0", "false", "no")
 
 
 @dataclass(frozen=True)
@@ -93,3 +129,87 @@ class SimConfig:
             raise ValueError("chunk_bytes unrealistically small")
         if self.pipeline_depth < 1:
             raise ValueError("pipeline_depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Typed run configuration: every knob a trial accepts, in one place.
+
+    ``None`` means "unset": :meth:`resolved` fills it from the matching
+    ``REPRO_*`` environment variable, then the default.  Explicit values
+    always win (except the documented kill switches, which force the
+    reference paths regardless).
+
+    ============== ======================== =======
+    field          environment variable     default
+    ============== ======================== =======
+    collapse       ``REPRO_COLLAPSE``       False
+    flow           ``REPRO_FLOW``           False
+    trace          ``REPRO_TRACE``          False
+    fastpath       ``REPRO_FABRIC_FASTPATH`` True
+    lazy_kernel    ``REPRO_KERNEL_LAZY``    True
+    cache          ``REPRO_BENCH_CACHE``    True
+    faults         ``REPRO_FAULTS`` (path)  None
+    ============== ======================== =======
+    """
+
+    collapse: Optional[bool] = None
+    flow: Optional[bool] = None
+    trace: Optional[bool] = None
+    fastpath: Optional[bool] = None
+    lazy_kernel: Optional[bool] = None
+    cache: Optional[bool] = None
+    #: A :class:`repro.faults.FaultPlan` (or ``None`` for a clean run).
+    faults: Optional[object] = None
+
+    _ENV = {
+        "collapse": "REPRO_COLLAPSE",
+        "flow": "REPRO_FLOW",
+        "trace": "REPRO_TRACE",
+        "fastpath": "REPRO_FABRIC_FASTPATH",
+        "lazy_kernel": "REPRO_KERNEL_LAZY",
+        "cache": "REPRO_BENCH_CACHE",
+    }
+    _DEFAULTS = {
+        "collapse": False,
+        "flow": False,
+        "trace": False,
+        "fastpath": True,
+        "lazy_kernel": True,
+        "cache": True,
+    }
+
+    def resolved(self) -> "RunOptions":
+        """Every field concrete: explicit kwarg > ``REPRO_*`` env > default."""
+        values = {}
+        for name, env_name in self._ENV.items():
+            explicit = getattr(self, name)
+            if explicit is not None:
+                values[name] = bool(explicit)
+                continue
+            from_env = _env_flag(env_name)
+            values[name] = self._DEFAULTS[name] if from_env is None else from_env
+        faults = self.faults
+        if faults is None:
+            path = env_str("REPRO_FAULTS").strip()
+            if path:
+                from ..faults.plan import load_plan
+
+                faults = load_plan(path)
+        elif isinstance(faults, str):
+            from ..faults.plan import load_plan
+
+            faults = load_plan(faults)
+        return RunOptions(faults=faults, **values)
+
+    def describe(self) -> dict:
+        """A JSON-stable identity of the *resolved* options.
+
+        Part of the bench trial-cache key: includes the fault plan's
+        content hash, so a cached fault-free outcome can never answer for
+        a fault-injected spec.
+        """
+        opts = self.resolved()
+        doc = {name: getattr(opts, name) for name in self._ENV}
+        doc["faults"] = opts.faults.signature() if opts.faults is not None else ""
+        return doc

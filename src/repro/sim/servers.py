@@ -63,6 +63,17 @@ class _SimServerBase:
     def start(self) -> None:
         self.rpc.start()
 
+    def reboot(self) -> None:
+        """Restart after a crash: revive the node and resume dispatch.
+
+        Durable state (namespaces, policies, lock tables) is assumed
+        journaled and recovered as part of the restart pause; servers
+        with modeled recovery work override this
+        (:meth:`SimStorageServer.reboot`).
+        """
+        self.node.revive()
+        self.rpc.start()
+
     @property
     def node_id(self) -> int:
         return self.node.node_id

@@ -81,6 +81,10 @@ class Environment:
         #: Optional :class:`repro.trace.Tracer`; ``None`` keeps every
         #: instrumentation site down to a single attribute check.
         self.tracer = None
+        #: Optional :class:`repro.faults.FaultInjector`; same contract as
+        #: ``tracer`` — ``None`` keeps every fault hook to one attribute
+        #: check, so fault-free timelines are bit-identical.
+        self.faults = None
 
     # -- introspection -----------------------------------------------------
     @property

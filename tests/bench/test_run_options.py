@@ -1,0 +1,180 @@
+"""RunOptions: the unified typed run configuration.
+
+Contract under test:
+
+* resolution order per knob is explicit value > ``REPRO_*`` env > default;
+* the legacy ``trace``/``collapse``/``flow`` harness booleans still work,
+  warning exactly once per kwarg name;
+* the bench trial-cache key folds the resolved options in (a fault plan
+  changes the key; fault-injected trials are never cached at all);
+* ``REPRO_*`` environment reads stay behind the single
+  ``repro.sim.config.env_str`` gateway, except the documented kill
+  switches.
+"""
+
+import os
+import warnings
+
+import pytest
+
+from repro.bench import run_checkpoint_trial
+from repro.bench import harness
+from repro.bench.cache import TrialCache, trial_key
+from repro.bench.executor import checkpoint_spec
+from repro.faults import FaultEvent, FaultPlan
+from repro.sim.config import RunOptions
+from repro.units import MiB
+
+STATE = 8 * MiB
+
+
+class TestResolutionOrder:
+    def test_defaults(self, monkeypatch):
+        for env in RunOptions._ENV.values():
+            monkeypatch.delenv(env, raising=False)
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        opts = RunOptions().resolved()
+        assert (opts.collapse, opts.flow, opts.trace) == (False, False, False)
+        assert (opts.fastpath, opts.lazy_kernel, opts.cache) == (True, True, True)
+        assert opts.faults is None
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLLAPSE", "1")
+        monkeypatch.setenv("REPRO_BENCH_CACHE", "0")
+        opts = RunOptions().resolved()
+        assert opts.collapse is True
+        assert opts.cache is False
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLLAPSE", "0")
+        monkeypatch.setenv("REPRO_FLOW", "1")
+        opts = RunOptions(collapse=True, flow=False).resolved()
+        assert opts.collapse is True
+        assert opts.flow is False
+
+    def test_falsey_env_spellings(self, monkeypatch):
+        for raw in ("0", "false", "no", "FALSE"):
+            monkeypatch.setenv("REPRO_TRACE", raw)
+            assert RunOptions().resolved().trace is False
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert RunOptions().resolved().trace is True
+
+    def test_faults_path_resolves_from_env(self, monkeypatch, tmp_path):
+        plan = FaultPlan(events=(FaultEvent(
+            kind="server_crash", at=0.1, target="stor0", duration=0.1),), seed=3)
+        path = str(tmp_path / "plan.json")
+        plan.dump(path)
+        monkeypatch.setenv("REPRO_FAULTS", path)
+        assert RunOptions().resolved().faults == plan
+
+    def test_faults_string_is_loaded_as_a_path(self, tmp_path):
+        plan = FaultPlan(seed=4, rpc_drop_rate=0.01)
+        path = str(tmp_path / "plan.json")
+        plan.dump(path)
+        assert RunOptions(faults=path).resolved().faults == plan
+
+    def test_describe_is_json_stable(self):
+        doc = RunOptions().describe()
+        assert set(doc) == set(RunOptions._ENV) | {"faults"}
+        assert doc["faults"] == ""
+        plan = FaultPlan(seed=9)
+        assert RunOptions(faults=plan).describe()["faults"] == plan.signature()
+
+
+class TestLegacyKwargs:
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_slate(self, monkeypatch):
+        monkeypatch.setattr(harness, "_LEGACY_WARNED", set())
+
+    def test_legacy_kwarg_warns_exactly_once(self):
+        with pytest.warns(DeprecationWarning, match="`collapse` kwarg is deprecated"):
+            first = run_checkpoint_trial(
+                "lwfs", 4, 2, state_bytes=STATE, seed=5, collapse=True
+            )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            second = run_checkpoint_trial(
+                "lwfs", 4, 2, state_bytes=STATE, seed=5, collapse=True
+            )
+        assert first.max_elapsed == second.max_elapsed
+
+    def test_each_kwarg_warns_separately(self):
+        with pytest.warns(DeprecationWarning, match="`flow`"):
+            run_checkpoint_trial("lwfs", 4, 2, state_bytes=STATE, seed=5, flow=True)
+        with pytest.warns(DeprecationWarning, match="`trace`"):
+            run_checkpoint_trial("lwfs", 4, 2, state_bytes=STATE, seed=5, trace=True)
+
+    def test_legacy_kwarg_matches_options_path(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_checkpoint_trial(
+                "lwfs", 4, 2, state_bytes=STATE, seed=5, collapse=True
+            )
+        typed = run_checkpoint_trial(
+            "lwfs", 4, 2, state_bytes=STATE, seed=5,
+            options=RunOptions(collapse=True),
+        )
+        assert legacy.max_elapsed == typed.max_elapsed
+        assert legacy.extra["events_processed"] == typed.extra["events_processed"]
+
+
+class TestCacheKeySeparation:
+    def _spec(self, **params):
+        return checkpoint_spec("lwfs", 4, 2, seed=5, state_bytes=STATE, **params)
+
+    def test_fault_plan_changes_the_key(self):
+        plan = FaultPlan(events=(FaultEvent(
+            kind="server_crash", at=0.1, target="stor0", duration=0.1),), seed=3)
+        clean = trial_key(self._spec())
+        faulted = trial_key(self._spec(options=RunOptions(faults=plan)))
+        assert clean != faulted
+        other = FaultPlan(events=(FaultEvent(
+            kind="server_crash", at=0.2, target="stor0", duration=0.1),), seed=3)
+        assert faulted != trial_key(self._spec(options=RunOptions(faults=other)))
+
+    def test_every_resolved_knob_is_in_the_key(self, monkeypatch):
+        base = trial_key(self._spec())
+        assert trial_key(self._spec(options=RunOptions(collapse=True))) != base
+        assert trial_key(self._spec(options=RunOptions(flow=True))) != base
+        monkeypatch.setenv("REPRO_COLLAPSE", "1")
+        assert trial_key(self._spec()) != base
+
+    def test_fault_trials_are_never_cached(self):
+        plan = FaultPlan(seed=3, rpc_drop_rate=0.01)
+        assert TrialCache.cacheable(self._spec()) is True
+        assert TrialCache.cacheable(
+            self._spec(options=RunOptions(faults=plan))) is False
+        assert TrialCache.cacheable(self._spec(options=RunOptions(trace=True))) is False
+        assert TrialCache.cacheable(self._spec(options=RunOptions(cache=False))) is False
+
+
+class TestEnvReadWhitelist:
+    #: The documented kill switches (read at point of use to avoid import
+    #: cycles) plus the single env_str gateway.  Nothing else in
+    #: src/repro may touch os.environ.
+    WHITELIST = {
+        os.path.join("sim", "config.py"),      # env_str gateway
+        os.path.join("network", "fabric.py"),  # REPRO_FABRIC_FASTPATH
+        os.path.join("network", "flow.py"),    # REPRO_FLOW
+        os.path.join("simkernel", "core.py"),  # REPRO_KERNEL_LAZY
+    }
+
+    def test_no_stray_environment_reads(self):
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        offenders = []
+        for dirpath, _, files in os.walk(root):
+            for name in files:
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                with open(path, encoding="utf-8") as fh:
+                    source = fh.read()
+                if ("os.environ" in source or "getenv" in source) \
+                        and rel not in self.WHITELIST:
+                    offenders.append(rel)
+        assert not offenders, (
+            f"REPRO_* reads outside repro.sim.config.env_str and the "
+            f"documented kill switches: {offenders}"
+        )
