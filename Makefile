@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick trace-quick scale-quick flow-quick chaos-quick
+.PHONY: test bench bench-quick trace-quick scale-quick flow-quick chaos-quick shard-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,16 @@ scale-quick:
 # path cannot hide behind the fluid one.
 flow-quick:
 	REPRO_BENCH_QUICK=1 $(PYTHON) -m repro.bench.executor --jobs 2 --check-flow
+	$(PYTHON) benchmarks/check_kernel_perf.py
+
+# Fast-forward / sharding smoke: the fast-forward equivalence gate (a
+# small grid run with the analytic epoch-skip engine ON and OFF must be
+# bit-identical) and the shard tolerance gate (a 128-client Red Storm
+# slice run single-process vs 2 shards must agree within 1%, and a
+# sharded re-run must be bit-identical); then the kernel events/s guard
+# so the fast-forward path cannot regress raw event throughput either.
+shard-quick:
+	$(PYTHON) -m repro.bench.executor --check-fastforward --check-shard
 	$(PYTHON) benchmarks/check_kernel_perf.py
 
 # Chaos smoke: a seeded fault plan exercising every injector kind runs

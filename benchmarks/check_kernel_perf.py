@@ -3,7 +3,10 @@
 Re-measures the :mod:`bench_simkernel_events` workloads (best-of-N to
 shave scheduler noise) and compares the shipping configuration
 (``lazy=True``) against the committed baselines in ``BENCH_kernel.json``.
-A run below ``--threshold`` (default 0.7×) of its baseline fails.
+A run below ``--threshold`` (default 0.7×) of its baseline fails.  The
+event-loop workloads guard events/s; the fast-forward and sharded
+workloads guard ranks per wall-second (fixed work per second — see
+``bench_simkernel_events.FIGURE_OF_MERIT``).
 
 Usage::
 
@@ -27,15 +30,16 @@ from bench_simkernel_events import (  # noqa: E402
     KERNEL_SCHEMA,
     WORKLOADS,
     _with_lazy,
+    fom_key,
     record_kernel_baseline,
 )
 
 
-def _measure(fn, best_of):
+def _measure(fn, best_of, key):
     best = None
     for _ in range(best_of):
         stats = _with_lazy(True, fn)
-        if best is None or stats["events_per_s"] > best["events_per_s"]:
+        if best is None or stats[key] > best[key]:
             best = stats
     return best
 
@@ -69,15 +73,16 @@ def main(argv=None):
     failed = False
     for name, fn in WORKLOADS.items():
         base = baselines.get(name)
-        if base is None:
+        key = fom_key(name)
+        if base is None or key not in base:
             print(f"{name:12s} SKIP (no lazy baseline entry)")
             continue
-        stats = _measure(fn, args.best_of)
-        ratio = stats["events_per_s"] / base["events_per_s"]
+        stats = _measure(fn, args.best_of, key)
+        ratio = stats[key] / base[key]
         ok = ratio >= args.threshold
         print(
-            f"{name:12s} {stats['events_per_s']:12,.0f} events/s "
-            f"vs baseline {base['events_per_s']:12,.0f} "
+            f"{name:12s} {stats[key]:12,.1f} {key} "
+            f"vs baseline {base[key]:12,.1f} "
             f"({ratio:.2f}x) {'ok' if ok else 'FAIL'}"
         )
         failed |= not ok

@@ -38,7 +38,10 @@ from ..sim.config import RunOptions, env_str
 __all__ = ["CACHE_SCHEMA", "TrialCache", "cache_enabled", "default_cache_dir", "trial_key"]
 
 #: Schema marker written into every cache entry; bump to invalidate.
-CACHE_SCHEMA = "repro-trial-cache/v2"
+#: v3: accelerator switches (REPRO_FASTFORWARD / REPRO_SHARD) joined the
+#: key and ``peak_event_queue`` changed meaning (live depth under lazy
+#: cancellation), so v2 entries are stale by construction.
+CACHE_SCHEMA = "repro-trial-cache/v3"
 
 
 def cache_enabled() -> bool:
@@ -117,6 +120,8 @@ def trial_key(spec) -> str:
         "fastpath": env_str("REPRO_FABRIC_FASTPATH", "1"),
         "lazy": env_str("REPRO_KERNEL_LAZY", "1"),
         "flow": env_str("REPRO_FLOW", ""),
+        "fastforward": env_str("REPRO_FASTFORWARD", ""),
+        "shard": env_str("REPRO_SHARD", ""),
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -92,6 +92,12 @@ class TrialOutcome:
     events_processed: int
     peak_event_queue: int
     sim_seconds: float = 0.0
+    #: Flow completions the analytic fast-forward engine retired without
+    #: per-chunk event scheduling (0 when the engine is off or unused).
+    events_fast_forwarded: int = 0
+    #: Conservative-sync barrier crossings summed over the run's shards
+    #: (0 for single-process runs).
+    window_barriers: int = 0
     #: Completed span list when the spec carried ``trace=True`` (spans
     #: pickle cleanly, so traced trials survive the process pool).
     trace: Optional[list] = None
@@ -174,6 +180,8 @@ def _run_trial(spec: TrialSpec) -> TrialOutcome:
         events_processed=int(result.extra.get("events_processed", 0)),
         peak_event_queue=int(result.extra.get("peak_event_queue", 0)),
         sim_seconds=float(result.extra.get("sim_seconds", 0.0)),
+        events_fast_forwarded=int(result.extra.get("events_fast_forwarded", 0)),
+        window_barriers=int(result.extra.get("window_barriers", 0)),
         trace=result.trace,
         trace_summary=trace_summary,
         fault_summary=fault_summary,
@@ -217,6 +225,8 @@ def _outcome_payload(o: TrialOutcome) -> Dict[str, Any]:
         "events_processed": o.events_processed,
         "peak_event_queue": o.peak_event_queue,
         "sim_seconds": o.sim_seconds,
+        "events_fast_forwarded": o.events_fast_forwarded,
+        "window_barriers": o.window_barriers,
     }
 
 
@@ -229,8 +239,51 @@ def _cached_outcome(spec: TrialSpec, payload: Dict[str, Any], wall: float) -> Tr
         events_processed=int(payload.get("events_processed", 0)),
         peak_event_queue=int(payload.get("peak_event_queue", 0)),
         sim_seconds=float(payload.get("sim_seconds", 0.0)),
+        events_fast_forwarded=int(payload.get("events_fast_forwarded", 0)),
+        window_barriers=int(payload.get("window_barriers", 0)),
         cached=True,
     )
+
+
+#: Whether the jobs x shards oversubscription warning already fired
+#: (once per process, like the legacy-kwarg warnings).
+_SHARD_CLAMP_WARNED: List[bool] = []
+
+
+def _clamp_jobs_for_shards(jobs: int, specs: Sequence[TrialSpec]) -> int:
+    """Cap ``jobs`` so trial workers x shard workers fit the machine.
+
+    A sharded trial forks its own worker per shard, so a pool of J
+    sharded trials runs J x S simulation processes.  Oversubscribing
+    cores that way is strictly slower than a narrower pool (the shards
+    within one trial must advance in lockstep, so preempting them
+    stretches every window).  Warns once per process when it clamps.
+    """
+    from .cache import _resolved_options
+
+    max_shards = 1
+    for spec in specs:
+        try:
+            max_shards = max(max_shards, _resolved_options(spec).shards)
+        except (TypeError, ValueError):  # pragma: no cover - exotic params
+            continue
+    if max_shards <= 1:
+        return jobs
+    cores = os.cpu_count() or 1
+    if jobs * max_shards <= cores:
+        return jobs
+    capped = max(1, cores // max_shards)
+    if capped < jobs and not _SHARD_CLAMP_WARNED:
+        _SHARD_CLAMP_WARNED.append(True)
+        import warnings
+
+        warnings.warn(
+            f"jobs={jobs} x shards={max_shards} oversubscribes "
+            f"{cores} cores; capping jobs at {capped}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return min(jobs, capped)
 
 
 def run_trials(
@@ -250,6 +303,7 @@ def run_trials(
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
+    jobs = _clamp_jobs_for_shards(jobs, specs)
     store = _resolve_cache(cache)
 
     merged: Dict[int, TrialOutcome] = {}
@@ -340,6 +394,8 @@ def _trial_record(o: TrialOutcome) -> Dict[str, Any]:
         "events_processed": o.events_processed,
         "peak_event_queue": o.peak_event_queue,
         "sim_seconds": round(o.sim_seconds, 9),
+        "events_fast_forwarded": o.events_fast_forwarded,
+        "window_barriers": o.window_barriers,
         "cached": o.cached,
     }
     if o.trace_summary is not None:
@@ -425,6 +481,48 @@ def _flow_grid(flow: bool) -> List[TrialSpec]:
 #: Flow-vs-exact gate: maximum relative error on the figure of merit.
 FLOW_REL_TOL = 0.01
 
+#: Fast-forward gate: the analytic engine must match the reference flow
+#: arithmetic to floating-point noise, not merely to model tolerance.
+FF_REL_TOL = 1e-9
+
+#: Sharded-vs-single gate: maximum relative error on the figure of merit
+#: (the mean-field service split and per-shard jitter draws bound this).
+SHARD_REL_TOL = 0.01
+
+
+def _ff_grid(fastforward: bool) -> List[TrialSpec]:
+    """The fast-forward equivalence gate: flow-mode dumps big enough to
+    keep many concurrent flows live, with the engine forced on or off."""
+    from ..sim.config import RunOptions
+    from ..units import MiB
+
+    specs: List[TrialSpec] = []
+    for impl in ("lwfs", "lustre-fpp"):
+        for n, m in ((8, 4), (16, 8)):
+            specs.append(
+                checkpoint_spec(
+                    impl, n, m, seed=400, state_bytes=32 * MiB,
+                    options=RunOptions(flow=True, fastforward=fastforward),
+                )
+            )
+    return specs
+
+
+def _shard_grid(shards: int) -> List[TrialSpec]:
+    """The shard accuracy gate: the 128-client Red Storm slice, sharded
+    versus single-process at otherwise identical points."""
+    from ..machine.presets import red_storm
+    from ..sim.config import RunOptions
+    from ..units import MiB
+
+    return [
+        checkpoint_spec(
+            "lwfs", 128, 32, seed=500, state_bytes=8 * MiB,
+            spec=red_storm(),
+            options=RunOptions(collapse=True, flow=True, shards=shards),
+        )
+    ]
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     """``python -m repro.bench.executor``: smoke-run the parallel sweep.
@@ -459,6 +557,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--check-flow", action="store_true",
         help="run the flow accuracy grid exact and flow-level and require "
              f"relative error <= {FLOW_REL_TOL:.0%} at every point",
+    )
+    parser.add_argument(
+        "--check-fastforward", action="store_true",
+        help="run the flow grid with the analytic fast-forward engine on "
+             f"and off and require relative error <= {FF_REL_TOL:g}",
+    )
+    parser.add_argument(
+        "--check-shard", action="store_true",
+        help="run the 128-client Red Storm slice sharded and single-process "
+             f"and require relative error <= {SHARD_REL_TOL:.0%}, plus "
+             "bit-identical repeat of the sharded run",
     )
     args = parser.parse_args(argv)
 
@@ -524,6 +633,65 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"flow gate ok: {len(flowed)} points within {FLOW_REL_TOL:.0%} "
             f"(worst {worst:.4%}), {ev_exact} -> {ev_flow} events ({ratio:.1f}x fewer)"
+        )
+
+    if args.check_fastforward:
+        reference = run_sweep(
+            _ff_grid(False), jobs=jobs, label="ff-gate-reference", cache=cache
+        )
+        fast = run_sweep(
+            _ff_grid(True), jobs=jobs, label="ff-gate-fast", cache=cache
+        )
+        worst = 0.0
+        bad = []
+        for r, f in zip(reference, fast):
+            rel = abs(f.value - r.value) / r.value if r.value else 0.0
+            worst = max(worst, rel)
+            if rel > FF_REL_TOL:
+                bad.append((r.spec.key(), r.value, f.value, rel))
+        if bad:
+            for key, rv, fv, rel in bad:
+                print(f"FF DRIFT {key}: reference={rv!r} fast={fv!r} rel={rel:.3e}")
+            print(f"fast-forward gate FAILED: {len(bad)} points over {FF_REL_TOL:g}")
+            return 1
+        ffwd = sum(o.events_fast_forwarded for o in fast)
+        print(
+            f"fast-forward gate ok: {len(fast)} points within {FF_REL_TOL:g} "
+            f"(worst {worst:.3e}), {ffwd} completions fast-forwarded"
+        )
+
+    if args.check_shard:
+        single = run_sweep(
+            _shard_grid(1), jobs=jobs, label="shard-gate-single", cache=cache
+        )
+        sharded = run_sweep(
+            _shard_grid(2), jobs=jobs, label="shard-gate-sharded", cache=cache
+        )
+        # Sharded runs must also be reproducible run-over-run: the window
+        # schedule is deterministic and the barrier carries no state.
+        repeat = run_sweep(
+            _shard_grid(2), jobs=jobs, label="shard-gate-repeat", cache=False
+        )
+        rel = (
+            abs(sharded[0].value - single[0].value) / single[0].value
+            if single[0].value else 0.0
+        )
+        if rel > SHARD_REL_TOL:
+            print(
+                f"SHARD DRIFT: single={single[0].value:.3f} "
+                f"sharded={sharded[0].value:.3f} rel={rel:.4f}"
+            )
+            print(f"shard gate FAILED: over {SHARD_REL_TOL:.0%}")
+            return 1
+        if repeat[0].value != sharded[0].value:
+            print(
+                f"SHARD NONDETERMINISM: {sharded[0].value!r} vs "
+                f"{repeat[0].value!r} across repeated runs"
+            )
+            return 1
+        print(
+            f"shard gate ok: rel {rel:.4%} <= {SHARD_REL_TOL:.0%}, repeat "
+            f"bit-identical, {sharded[0].window_barriers} window barriers"
         )
 
     if args.check_determinism:

@@ -33,6 +33,8 @@ __all__ = [
     "SweepPoint",
     "run_checkpoint_trial",
     "run_create_trial",
+    "checkpoint_main",
+    "create_main",
     "measure_point",
     "measure_create_point",
 ]
@@ -214,6 +216,13 @@ def run_checkpoint_trial(
     ``TrialResult.extra``.
     """
     opts = _merge_options(options, trace=trace, collapse=collapse, flow=flow)
+    if opts.shards > 1:
+        from .shard import run_sharded_checkpoint_trial
+
+        return run_sharded_checkpoint_trial(
+            impl, n_clients, n_servers, state_bytes=state_bytes, seed=seed,
+            spec=spec, config=config, opts=opts, **deploy_kwargs
+        )
     cluster, deployment, checkpointer, app, injector = _build(
         impl, n_clients, n_servers, seed, spec, config,
         opts=opts, collapse_state_bytes=state_bytes, **deploy_kwargs
@@ -223,30 +232,8 @@ def run_checkpoint_trial(
     # Under fault injection a checkpoint can abort wholesale (2PC presumed
     # abort wipes the uncommitted creates at a rebooted server); real
     # checkpoint libraries re-drive the dump, so the harness does too.
-    # All ranks observe the collective outcome, so the retry loop stays
-    # aligned without extra synchronization.
     attempts = CKPT_ATTEMPTS if injector is not None else 1
-
-    def main(ctx):
-        yield from checkpointer.setup(ctx)
-        yield from ctx.barrier()
-        for attempt in range(1, attempts + 1):
-            try:
-                result = yield from checkpointer.checkpoint(
-                    ctx, SyntheticData(state_bytes, seed=ctx.rank)
-                )
-                return result
-            except CheckpointError:
-                if attempt == attempts:
-                    raise
-                if ctx.rank == 0:
-                    injector.note_ckpt_restart()
-                # A revocation storm fails writes closed; re-acquiring
-                # capabilities (fresh serials) is part of the re-drive.
-                refresh = getattr(checkpointer, "refresh_caps", None)
-                if refresh is not None:
-                    yield from refresh(ctx)
-
+    main = checkpoint_main(checkpointer, state_bytes, attempts, injector)
     results = app.run(main)
     max_elapsed = max(r.elapsed for r in results)
     mean_elapsed = sum(r.elapsed for r in results) / len(results)
@@ -290,17 +277,18 @@ def run_create_trial(
     same deprecated legacy booleans) as :func:`run_checkpoint_trial`.
     """
     opts = _merge_options(options, trace=trace, collapse=collapse, flow=flow)
+    if opts.shards > 1:
+        from .shard import run_sharded_create_trial
+
+        return run_sharded_create_trial(
+            impl, n_clients, n_servers, creates_per_client=creates_per_client,
+            seed=seed, spec=spec, config=config, opts=opts, **deploy_kwargs
+        )
     cluster, deployment, checkpointer, app, injector = _build(
         impl, n_clients, n_servers, seed, spec, config, opts=opts, **deploy_kwargs
     )
     tracer = _maybe_trace(cluster, opts.trace)
-
-    def main(ctx):
-        yield from checkpointer.setup(ctx)
-        yield from ctx.barrier()
-        result = yield from checkpointer.create_objects(ctx, creates_per_client)
-        return result
-
+    main = create_main(checkpointer, creates_per_client)
     results = app.run(main)
     max_elapsed = max(r.elapsed for r in results)
     total_creates = n_clients * creates_per_client
@@ -322,6 +310,55 @@ def run_create_trial(
         trace=tracer.spans if tracer is not None else None,
         fault_log=injector.log if injector is not None else None,
     )
+
+
+def checkpoint_main(checkpointer, state_bytes: int, attempts: int = 1, injector=None):
+    """The per-rank checkpoint program (Figure 9 workload).
+
+    Module-level (rather than a closure inside the trial function) so
+    the sharded driver (:mod:`repro.bench.shard`) runs the identical
+    program inside each worker process.
+
+    Under fault injection a checkpoint can abort wholesale (2PC presumed
+    abort wipes the uncommitted creates at a rebooted server); real
+    checkpoint libraries re-drive the dump, so the harness does too.
+    All ranks observe the collective outcome, so the retry loop stays
+    aligned without extra synchronization.
+    """
+
+    def main(ctx):
+        yield from checkpointer.setup(ctx)
+        yield from ctx.barrier()
+        for attempt in range(1, attempts + 1):
+            try:
+                result = yield from checkpointer.checkpoint(
+                    ctx, SyntheticData(state_bytes, seed=ctx.rank)
+                )
+                return result
+            except CheckpointError:
+                if attempt == attempts:
+                    raise
+                if ctx.rank == 0:
+                    injector.note_ckpt_restart()
+                # A revocation storm fails writes closed; re-acquiring
+                # capabilities (fresh serials) is part of the re-drive.
+                refresh = getattr(checkpointer, "refresh_caps", None)
+                if refresh is not None:
+                    yield from refresh(ctx)
+
+    return main
+
+
+def create_main(checkpointer, creates_per_client: int):
+    """The per-rank create-phase program (Figure 10 workload)."""
+
+    def main(ctx):
+        yield from checkpointer.setup(ctx)
+        yield from ctx.barrier()
+        result = yield from checkpointer.create_objects(ctx, creates_per_client)
+        return result
+
+    return main
 
 
 def _maybe_trace(cluster, trace: bool):

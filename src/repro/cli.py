@@ -64,6 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject the faults scheduled in this JSON plan "
                             "(see repro.faults; also REPRO_FAULTS=PLAN.json) "
                             "and print the fault/recovery summary")
+    point.add_argument("--fast-forward", dest="fastforward", default=None,
+                       action="store_true",
+                       help="analytic steady-state fast-forward for flow-mode "
+                            "transfers (the default; REPRO_FASTFORWARD=0 "
+                            "kills it globally)")
+    point.add_argument("--no-fast-forward", dest="fastforward",
+                       action="store_false",
+                       help="force the reference per-event flow arithmetic")
+    point.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="split this one run into N server-group shards "
+                            "simulated by parallel worker processes "
+                            "(also REPRO_SHARD=N; REPRO_SHARD=0 kills)")
 
     create = sub.add_parser("create", help="one Fig. 10 point (creates/s)")
     create.add_argument("--impl", default="lwfs", choices=["lwfs", "lustre-fpp"])
@@ -206,6 +218,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             collapse=True if args.collapse else None,
             flow=True if args.flow else None,
             faults=args.faults,
+            fastforward=args.fastforward,
+            shards=args.shards,
         )
         result = run_checkpoint_trial(
             args.impl, args.clients, args.servers,
@@ -217,11 +231,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f" [{result.extra['ranks_simulated']:.0f} representatives, "
                 f"max class {result.extra['max_multiplicity']:.0f}]"
             )
+        sharded = ""
+        if result.extra.get("shards", 0) > 1:
+            sharded = (
+                f" [{result.extra['shards']:.0f} shards, "
+                f"{result.extra['window_barriers']:.0f} window barriers]"
+            )
         print(
             f"{args.impl}: {args.clients} clients x {args.state_mb} MB over "
             f"{args.servers} servers -> {result.throughput_mb_s:.1f} MB/s "
             f"(max rank time {result.max_elapsed:.3f} s, "
-            f"create phase {result.create_max_elapsed * 1e3:.2f} ms)" + collapsed
+            f"create phase {result.create_max_elapsed * 1e3:.2f} ms)"
+            + collapsed + sharded
         )
         if result.fault_log is not None:
             _print_fault_summary(result)

@@ -30,6 +30,11 @@ class Node:
         self.spec = spec
         self.name = name or f"{spec.kind.value}{node_id}"
         self.cpu = Resource(env, capacity=spec.cpu.cores)
+        #: Relative CPU speed.  Sharded runs give each worker a local
+        #: replica of the shared service nodes at a fraction of their
+        #: capacity (``SimConfig.service_scale``); every protocol cost
+        #: charged through :meth:`compute` stretches by ``1 / speed``.
+        self.speed = 1.0
         self.alive = True
         self.nic: Optional["NIC"] = None  # attached by the Fabric
         self.storage: Optional["RaidDevice"] = None  # attached by deployment
@@ -65,6 +70,8 @@ class Node:
         """
         if duration <= 0:
             return
+        if self.speed != 1.0:
+            duration /= self.speed
         with self.cpu.request() as req:
             yield req
             yield self.env.timeout(duration)

@@ -32,11 +32,15 @@ it regardless of the per-run flag.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..simkernel import Environment, Event
 
-__all__ = ["FluidResource", "Flow", "FlowNetwork", "flow_enabled", "fluid_of"]
+__all__ = [
+    "FluidResource", "Flow", "FlowNetwork",
+    "flow_enabled", "fastforward_enabled", "fluid_of",
+]
 
 #: Bytes of slack below which a flow counts as complete.  Float roundoff
 #: across advance/recompute cycles is ~1e-7 B at simulation scale; real
@@ -46,6 +50,11 @@ _DONE_TOL = 1e-3
 #: Relative capacity slack below which a resource counts as saturated
 #: during progressive filling.
 _SAT_TOL = 1e-9
+
+#: Relative time slack within which an independent component's completion
+#: may ride the current fast-forward step (float-roundoff ulps between a
+#: heap entry's closed-form time and the armed timer's fire time).
+_T_SLOP = 1e-12
 
 
 def flow_enabled(flag: bool) -> bool:
@@ -58,6 +67,24 @@ def flow_enabled(flag: bool) -> bool:
     import os
 
     forced = os.environ.get("REPRO_FLOW", "")
+    if forced == "0":
+        return False
+    if forced == "1":
+        return True
+    return flag
+
+
+def fastforward_enabled(flag: bool) -> bool:
+    """Resolve ``fastforward`` against the ``REPRO_FASTFORWARD`` switch.
+
+    ``REPRO_FASTFORWARD=0`` is the kill switch (global progressive
+    filling, the pre-fast-forward reference arithmetic, bit-identical to
+    older timelines), ``REPRO_FASTFORWARD=1`` force-enables, anything
+    else defers to *flag*.  Read at call time, like :func:`flow_enabled`.
+    """
+    import os
+
+    forced = os.environ.get("REPRO_FASTFORWARD", "")
     if forced == "0":
         return False
     if forced == "1":
@@ -95,7 +122,7 @@ class Flow:
     """
 
     __slots__ = ("nbytes", "remaining", "rate", "shares", "done", "tag",
-                 "src", "dst", "wire_bytes", "t_open")
+                 "src", "dst", "wire_bytes", "t_open", "seq", "t_last", "gen")
 
     def __init__(
         self,
@@ -117,10 +144,42 @@ class Flow:
         self.dst = dst
         self.wire_bytes = wire_bytes
         self.t_open = env._now
+        #: Deterministic identity (flows_opened at open time) — used to
+        #: order component members so fast-forward float sums are
+        #: reproducible across runs.
+        self.seq = 0
+        #: Last time this flow's ``remaining`` was drained (fast-forward
+        #: advances lazily, per component, instead of globally).
+        self.t_last = env._now
+        #: Bumped whenever the flow's rate changes; stale completion-heap
+        #: entries carry an older gen and are skipped on pop.
+        self.gen = 0
 
 
 class FlowNetwork:
-    """Max-min fair fluid flows over shared resources, one env-wide."""
+    """Max-min fair fluid flows over shared resources, one env-wide.
+
+    Two interchangeable engines compute the same max-min allocation:
+
+    * the **reference** engine re-runs global progressive filling over
+      every active flow at each arrival/departure — ``O(flows²)`` per
+      event once per-device jitter makes every saturation level
+      distinct, the pre-fast-forward arithmetic, kept bit-identical;
+    * the **fast-forward** engine exploits the fact that max-min
+      fairness decomposes exactly over connected components of the
+      flow↔resource bipartite graph: an event only re-fair-shares the
+      touched component, per-flow completion times are kept in closed
+      form on a lazily-invalidated heap, and untouched components keep
+      their rates — ``O(component)`` per event.
+
+    Fast-forward is the default when the environment opts in
+    (``env.fastforward``, wired from ``RunOptions.fastforward``); it
+    disengages automatically whenever a fault injector is installed,
+    because capacity perturbations (crash/stall/degrade) invalidate the
+    steady-state assumption — chaos timelines therefore ride the
+    reference arithmetic bit-identically.  ``REPRO_FASTFORWARD=0``
+    force-disables, ``=1`` force-enables.
+    """
 
     def __init__(self, env: Environment) -> None:
         self.env = env
@@ -132,6 +191,16 @@ class FlowNetwork:
         self.flows_active = 0
         self.flows_peak = 0
         self.rate_recomputes = 0
+        #: Fast-forward engine state: resource -> insertion-ordered dict
+        #: of active flows (dict-as-ordered-set keeps component walks
+        #: deterministic), plus the closed-form completion heap.
+        self._res_flows: Dict[FluidResource, Dict[Flow, None]] = {}
+        self._ff_heap: list = []  # (t_done, flow.seq, gen, flow)
+        self._armed_at = float("inf")
+        self._ff = (
+            fastforward_enabled(bool(getattr(env, "fastforward", True)))
+            and env.faults is None
+        )
         env._flow_network = self  # type: ignore[attr-defined]
 
     @classmethod
@@ -164,14 +233,23 @@ class FlowNetwork:
             self.env, nbytes, shares, tag, src, dst,
             nbytes if wire_bytes is None else wire_bytes,
         )
-        self._advance()
-        self._flows.append(flow)
+        if self._ff and self.env.faults is not None:
+            # A fault injector appeared after the network was created:
+            # leave fast-forward at a rate-change boundary, where both
+            # engines agree on every flow's remaining bytes.
+            self._leave_fastforward()
         self.flows_opened += 1
+        flow.seq = self.flows_opened
         self.flows_active += 1
         if self.flows_active > self.flows_peak:
             self.flows_peak = self.flows_active
-        self._recompute()
-        self._reschedule()
+        if self._ff:
+            self._ff_open(flow)
+        else:
+            self._advance()
+            self._flows.append(flow)
+            self._recompute()
+            self._reschedule()
         return flow
 
     # -- internals ----------------------------------------------------------
@@ -196,6 +274,16 @@ class FlowNetwork:
         flows = self._flows
         if not flows:
             return
+        self._fill(flows)
+
+    def _fill(self, flows: Sequence[Flow]) -> None:
+        """One progressive-filling pass over *flows*.
+
+        The flow set must be closed over its resources (the whole network
+        on the reference path, one connected component under
+        fast-forward); given that, the arithmetic — and therefore the
+        floats — is identical for both callers.
+        """
         cap = {}
         load = {}
         for f in flows:
@@ -274,3 +362,189 @@ class FlowNetwork:
                 f.done.succeed(f)
         self._recompute()
         self._reschedule()
+
+    # -- fast-forward engine -------------------------------------------------
+    # Max-min fairness decomposes exactly over connected components of
+    # the flow↔resource bipartite graph: a resource's fair share depends
+    # only on the flows crossing it, transitively.  Arrivals and
+    # departures therefore re-fair-share one component; everything else
+    # keeps its rate, its (lazily drained) remaining bytes, and its
+    # closed-form completion time on the heap.
+
+    def _ff_open(self, flow: Flow) -> None:
+        for res, _ in flow.shares:
+            members = self._res_flows.get(res)
+            if members is None:
+                self._res_flows[res] = members = {}
+            members[flow] = None
+        comp = self._component(flow)
+        self._advance_component(comp)
+        self._refresh_component(comp)
+        self.env.events_fast_forwarded += 1
+        self._arm()
+
+    def _component(self, flow: Flow) -> List[Flow]:
+        """The connected component containing *flow*, in ``seq`` order.
+
+        Float sums in :meth:`_fill` depend on iteration order, so the
+        component is always presented in deterministic open order —
+        repeated runs produce bit-identical timelines.
+        """
+        seen = {flow}
+        stack = [flow]
+        while stack:
+            f = stack.pop()
+            for res, _ in f.shares:
+                for g in self._res_flows.get(res, ()):
+                    if g not in seen:
+                        seen.add(g)
+                        stack.append(g)
+        return sorted(seen, key=_flow_seq)
+
+    def _advance_component(self, comp: Sequence[Flow]) -> None:
+        """Drain component members from their own last-advance times."""
+        now = self.env._now
+        for f in comp:
+            dt = now - f.t_last
+            if dt > 0.0:
+                f.remaining -= f.rate * dt
+            f.t_last = now
+
+    def _refresh_component(self, comp: Sequence[Flow]) -> None:
+        """Re-fair-share one component; refresh its completion times."""
+        self.rate_recomputes += 1
+        self._fill(comp)
+        now = self.env._now
+        heap = self._ff_heap
+        for f in comp:
+            f.gen += 1
+            heapq.heappush(heap, (now + f.remaining / f.rate, f.seq, f.gen, f))
+
+    def _arm(self) -> None:
+        """Point the single completion timer at the earliest live entry."""
+        heap = self._ff_heap
+        while heap and heap[0][2] != heap[0][3].gen:
+            heapq.heappop(heap)
+        timer = self._timer
+        if not heap:
+            if timer is not None:
+                timer.cancel()
+                self._timer = None
+            self._armed_at = float("inf")
+            return
+        t = heap[0][0]
+        if timer is not None:
+            if t == self._armed_at:
+                return
+            timer.cancel()
+        dt = t - self.env._now
+        if dt < 0.0:
+            dt = 0.0
+        timer = self.env.timeout(dt)
+        timer.callbacks.append(self._on_ff_timer)
+        self._timer = timer
+        self._armed_at = t
+
+    def _on_ff_timer(self, event) -> None:
+        if event is not self._timer:  # pragma: no cover - stale-timer guard
+            return
+        self._timer = None
+        armed, self._armed_at = self._armed_at, float("inf")
+        env = self.env
+        now = env._now
+        heap = self._ff_heap
+        slop = _T_SLOP * (1.0 if now < 1.0 else now)
+        due: List[Flow] = []
+        while heap:
+            t, _seq, gen, f = heap[0]
+            if gen != f.gen:
+                heapq.heappop(heap)
+                continue
+            # Entries an ulp past the armed instant (timer float roundoff,
+            # or a sibling component finishing "just after") complete in
+            # this step too — but only when the steady-state detector
+            # confirms the control lane is quiet up to their time, so the
+            # jump cannot reorder foreign events.
+            if t > armed and not (t - now <= slop and env.quiet_before(t)):
+                break
+            heapq.heappop(heap)
+            due.append(f)
+        if not due:  # pragma: no cover - everything invalidated since arming
+            self._arm()
+            return
+        finished: List[Flow] = []
+        for f in due:
+            dt = now - f.t_last
+            f.remaining -= f.rate * dt
+            f.t_last = now
+            if f.remaining > _DONE_TOL:  # pragma: no cover - safety net
+                f.gen += 1
+                heapq.heappush(
+                    heap, (now + f.remaining / f.rate, f.seq, f.gen, f))
+                continue
+            f.remaining = 0.0
+            f.gen = -1  # invalidates every heap entry for this flow
+            finished.append(f)
+            for res, _ in f.shares:
+                members = self._res_flows.get(res)
+                if members is not None:
+                    members.pop(f, None)
+                    if not members:
+                        del self._res_flows[res]
+        self.flows_active -= len(finished)
+        env.events_fast_forwarded += len(finished)
+        # Re-fair-share every component that lost a member (insertion
+        # order of `touched` is deterministic: finished flows arrive in
+        # heap order, resource members in open order).
+        touched: Dict[Flow, None] = {}
+        for f in finished:
+            for res, _ in f.shares:
+                for g in self._res_flows.get(res, ()):
+                    touched[g] = None
+        seen: set = set()
+        for g in touched:
+            if g in seen:
+                continue
+            comp = self._component(g)
+            seen.update(comp)
+            self._advance_component(comp)
+            self._refresh_component(comp)
+        tracer = env.tracer
+        for f in finished:
+            if tracer is not None:
+                tracer.record(
+                    f"xfer-flow:{f.tag}" if f.tag else "xfer-flow",
+                    start=f.t_open, kind="xfer",
+                    node=f.src, op=f.tag or None, dst=f.dst,
+                    bytes=int(f.wire_bytes),
+                )
+            f.done.succeed(f)
+        self._arm()
+
+    def _leave_fastforward(self) -> None:
+        """Migrate live fast-forward state onto the reference engine.
+
+        Only happens at a rate-change boundary (an ``open``), where both
+        engines agree on every flow's rate and remaining bytes, so the
+        hand-off is exact.
+        """
+        self._ff = False
+        live = sorted(
+            {f for members in self._res_flows.values() for f in members},
+            key=_flow_seq,
+        )
+        now = self.env._now
+        for f in live:
+            dt = now - f.t_last
+            if dt > 0.0:
+                f.remaining -= f.rate * dt
+            f.t_last = now
+        self._flows = live
+        self._last = now
+        self._res_flows.clear()
+        self._ff_heap.clear()
+        self._armed_at = float("inf")
+
+
+def _flow_seq(flow: Flow) -> int:
+    return flow.seq

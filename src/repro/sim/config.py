@@ -51,6 +51,17 @@ def _env_flag(name: str) -> Optional[bool]:
     return raw not in ("0", "false", "no")
 
 
+def _env_int(name: str) -> Optional[int]:
+    """``REPRO_*`` integer knob; unset or unparsable -> ``None``."""
+    raw = env_str(name).strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
 @dataclass(frozen=True)
 class LWFSCosts:
     """Host CPU times (seconds) for LWFS service operations."""
@@ -121,6 +132,21 @@ class SimConfig:
     #: per-chunk RPCs.  ``REPRO_FLOW=0`` force-disables (reference path),
     #: ``REPRO_FLOW=1`` force-enables.
     flow: bool = False
+    #: Fraction of each *service* node's capacity (CPU and journal
+    #: device) available to this simulation.  Sharded runs
+    #: (:mod:`repro.bench.shard`) give every shard a local replica of the
+    #: shared MDS/authz nodes scaled by the shard's client share — the
+    #: mean-field split keeps n clients at full rate equivalent to n/S
+    #: clients at rate/S.  Storage and compute nodes are never scaled:
+    #: server-group sharding gives each shard exclusive ownership of its
+    #: storage servers.
+    service_scale: float = 1.0
+    #: Sharded runs only: the global-to-local server ratio (m / m_k).
+    #: Client-driven 2PC serializes prepare/commit over *every* storage
+    #: server in the transaction; a shard's local chain covers only its
+    #: own servers, so the coordinator stretches the chain by this factor
+    #: to reproduce the global critical path (see SimLWFSClient.end_txn).
+    txn_fanout_scale: float = 1.0
     lwfs: LWFSCosts = field(default_factory=LWFSCosts)
     pfs: PFSCosts = field(default_factory=PFSCosts)
 
@@ -129,6 +155,10 @@ class SimConfig:
             raise ValueError("chunk_bytes unrealistically small")
         if self.pipeline_depth < 1:
             raise ValueError("pipeline_depth must be >= 1")
+        if not 0.0 < self.service_scale <= 1.0:
+            raise ValueError("service_scale must be in (0, 1]")
+        if self.txn_fanout_scale < 1.0:
+            raise ValueError("txn_fanout_scale must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -149,8 +179,15 @@ class RunOptions:
     fastpath       ``REPRO_FABRIC_FASTPATH`` True
     lazy_kernel    ``REPRO_KERNEL_LAZY``    True
     cache          ``REPRO_BENCH_CACHE``    True
+    fastforward    ``REPRO_FASTFORWARD``    True
+    shards         ``REPRO_SHARD`` (int)    1
     faults         ``REPRO_FAULTS`` (path)  None
     ============== ======================== =======
+
+    ``shards`` follows the kill-switch convention of the boolean
+    accelerators: ``REPRO_SHARD=0`` forces single-process execution even
+    over an explicit ``shards=N``, so equivalence tests can pin the
+    reference path from the outside.
     """
 
     collapse: Optional[bool] = None
@@ -159,6 +196,12 @@ class RunOptions:
     fastpath: Optional[bool] = None
     lazy_kernel: Optional[bool] = None
     cache: Optional[bool] = None
+    #: Analytic steady-state fast-forward in the flow engine
+    #: (:mod:`repro.network.flow`); only observable on flow-mode runs.
+    fastforward: Optional[bool] = None
+    #: Worker-process count for sharded simulation of one big run
+    #: (:mod:`repro.bench.shard`); ``1`` (or ``0``) means single-process.
+    shards: Optional[int] = None
     #: A :class:`repro.faults.FaultPlan` (or ``None`` for a clean run).
     faults: Optional[object] = None
 
@@ -169,6 +212,7 @@ class RunOptions:
         "fastpath": "REPRO_FABRIC_FASTPATH",
         "lazy_kernel": "REPRO_KERNEL_LAZY",
         "cache": "REPRO_BENCH_CACHE",
+        "fastforward": "REPRO_FASTFORWARD",
     }
     _DEFAULTS = {
         "collapse": False,
@@ -177,6 +221,7 @@ class RunOptions:
         "fastpath": True,
         "lazy_kernel": True,
         "cache": True,
+        "fastforward": True,
     }
 
     def resolved(self) -> "RunOptions":
@@ -189,6 +234,14 @@ class RunOptions:
                 continue
             from_env = _env_flag(env_name)
             values[name] = self._DEFAULTS[name] if from_env is None else from_env
+        raw_shard = env_str("REPRO_SHARD").strip()
+        if raw_shard == "0":
+            shards = 1  # kill switch: beats even an explicit shards=N
+        elif self.shards is not None:
+            shards = max(1, int(self.shards))
+        else:
+            from_env = _env_int("REPRO_SHARD")
+            shards = 1 if from_env is None else max(1, from_env)
         faults = self.faults
         if faults is None:
             path = env_str("REPRO_FAULTS").strip()
@@ -200,16 +253,18 @@ class RunOptions:
             from ..faults.plan import load_plan
 
             faults = load_plan(faults)
-        return RunOptions(faults=faults, **values)
+        return RunOptions(faults=faults, shards=shards, **values)
 
     def describe(self) -> dict:
         """A JSON-stable identity of the *resolved* options.
 
         Part of the bench trial-cache key: includes the fault plan's
         content hash, so a cached fault-free outcome can never answer for
-        a fault-injected spec.
+        a fault-injected spec, and the accelerator knobs
+        (``fastforward``/``shards``), so cached results never mix modes.
         """
         opts = self.resolved()
         doc = {name: getattr(opts, name) for name in self._ENV}
+        doc["shards"] = opts.shards
         doc["faults"] = opts.faults.signature() if opts.faults is not None else ""
         return doc

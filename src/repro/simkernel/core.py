@@ -77,6 +77,17 @@ class Environment:
         self.events_cancelled: int = 0
         #: Timeout objects served from the free list instead of allocated.
         self.timeouts_recycled: int = 0
+        #: Scheduler steps resolved analytically by a steady-state
+        #: fast-forward engine (see :mod:`repro.network.flow`) instead of
+        #: a full rate recompute over every active flow.
+        self.events_fast_forwarded: int = 0
+        #: Conservative time-window barriers this environment crossed
+        #: when driven as one shard of a multiprocess run
+        #: (:mod:`repro.bench.shard`); 0 in single-process runs.
+        self.window_barriers: int = 0
+        #: Analytic steady-state fast-forward opt-in (the
+        #: ``REPRO_FASTFORWARD`` kill switch still wins at point of use).
+        self.fastforward: bool = True
         self._peak_queue: int = 0
         #: Optional :class:`repro.trace.Tracer`; ``None`` keeps every
         #: instrumentation site down to a single attribute check.
@@ -99,8 +110,14 @@ class Environment:
 
     @property
     def peak_queue_len(self) -> int:
-        """Largest event-queue depth seen so far (heap + immediate FIFOs)."""
-        return max(self._peak_queue, self._qlen())
+        """Largest *live* event-queue depth seen so far.
+
+        Counts heap plus immediate FIFOs minus tombstoned (cancelled but
+        not yet popped/compacted) entries, so lazy cancellation reports
+        the same semantic depth as the eager reference path instead of
+        inflating the peak with dead weight.
+        """
+        return max(self._peak_queue, self._qlen() - self._cancelled_pending)
 
     def _qlen(self) -> int:
         return len(self._queue) + len(self._imm_urgent) + len(self._imm_normal)
@@ -113,6 +130,17 @@ class Environment:
         if self._imm_normal and self._imm_normal[0][0] < t:
             t = self._imm_normal[0][0]
         return t
+
+    def quiet_before(self, t: float) -> bool:
+        """True when no pending entry is scheduled strictly before *t*.
+
+        The steady-state detector used by the flow fast-forward engine:
+        when the control lane is quiet up to ``t`` the clock can jump
+        there in one closed-form step without reordering anything.
+        Conservative — tombstoned entries count as pending, so a stale
+        timer can only ever turn a legal skip into a regular event.
+        """
+        return self.peek() >= t
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
@@ -153,7 +181,7 @@ class Environment:
             self._imm_normal.append((at, NORMAL, seq, event))
         else:
             heapq.heappush(self._queue, (at, NORMAL, seq, event))
-        qlen = self._qlen()
+        qlen = self._qlen() - self._cancelled_pending
         if qlen > self._peak_queue:
             self._peak_queue = qlen
         return event
@@ -182,7 +210,7 @@ class Environment:
                 self._imm_normal.append(entry)
         else:
             heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
-        qlen = self._qlen()
+        qlen = self._qlen() - self._cancelled_pending
         if qlen > self._peak_queue:
             self._peak_queue = qlen
 

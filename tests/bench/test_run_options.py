@@ -33,10 +33,21 @@ class TestResolutionOrder:
         for env in RunOptions._ENV.values():
             monkeypatch.delenv(env, raising=False)
         monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        monkeypatch.delenv("REPRO_SHARD", raising=False)
         opts = RunOptions().resolved()
         assert (opts.collapse, opts.flow, opts.trace) == (False, False, False)
         assert (opts.fastpath, opts.lazy_kernel, opts.cache) == (True, True, True)
+        assert opts.fastforward is True
+        assert opts.shards == 1
         assert opts.faults is None
+
+    def test_shard_env_and_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD", "4")
+        assert RunOptions().resolved().shards == 4
+        assert RunOptions(shards=2).resolved().shards == 2
+        # REPRO_SHARD=0 is a kill switch: it beats even an explicit count.
+        monkeypatch.setenv("REPRO_SHARD", "0")
+        assert RunOptions(shards=4).resolved().shards == 1
 
     def test_env_beats_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_COLLAPSE", "1")
@@ -75,7 +86,7 @@ class TestResolutionOrder:
 
     def test_describe_is_json_stable(self):
         doc = RunOptions().describe()
-        assert set(doc) == set(RunOptions._ENV) | {"faults"}
+        assert set(doc) == set(RunOptions._ENV) | {"faults", "shards"}
         assert doc["faults"] == ""
         plan = FaultPlan(seed=9)
         assert RunOptions(faults=plan).describe()["faults"] == plan.signature()

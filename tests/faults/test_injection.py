@@ -74,9 +74,14 @@ class TestFaultsOffBitIdentical:
 
     @pytest.mark.parametrize("impl", ["lwfs", "lustre-fpp"])
     def test_flow_path_pinned(self, impl):
+        # The pins were recorded on the per-chunk-epoch reference path;
+        # the analytic fast-forward (on by default with flow mode) can
+        # reassociate the same sums and drift the last ulp, so its
+        # equivalence is gated separately at 1e-9 (--check-fastforward)
+        # while this test pins the reference bit-exact.
         r = run_checkpoint_trial(
             impl, N, M, state_bytes=32 * MiB, seed=SEED,
-            options=RunOptions(flow=True),
+            options=RunOptions(flow=True, fastforward=False),
         )
         assert r.max_elapsed == PRE_FAULT_SUBSYSTEM_PINS[(impl, "flow")]
 
