@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick trace-quick scale-quick flow-quick chaos-quick shard-quick
+.PHONY: test bench bench-quick trace-quick scale-quick flow-quick chaos-quick shard-quick metrics-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -54,6 +54,18 @@ chaos-quick:
 	$(PYTHON) -m repro.faults
 	$(PYTHON) -m repro checkpoint --clients 8 --servers 4 --state-mb 8 \
 		--seed 42 --faults examples/faults/storage_crash.json
+
+# Metrics smoke: four gates in one module run — (1) a metered run's
+# simulated timeline is bit-identical to an unmetered one and the event
+# count grows by exactly the sampler's ticks, (2) metered wall-clock
+# stays within 5% of plain (best-of-5, interleaved), (3) the exported
+# document validates against repro-metrics/v1 and round-trips JSON,
+# (4) the storage-crash health check: a degraded-goodput window is
+# reported and the series-derived time-to-recovery lands within 5% of
+# the injector's degraded_seconds.  Writes results/metrics_quick.json
+# and the rendered results/metrics_dashboard.html (the CI artifact).
+metrics-quick:
+	$(PYTHON) -m repro.metrics
 
 # One traced checkpoint trial: phase report, timeline, and Chrome trace
 # JSON (results/trace_quick.json), schema-validated.

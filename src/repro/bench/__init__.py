@@ -1,6 +1,7 @@
 """Benchmark harness: workloads, sweeps, reporting, analytic models."""
 
 from .analytic import CheckpointModel, petaflop_extrapolation
+from .dashboard import build_dashboard, write_dashboard
 from .executor import (
     TrialOutcome,
     TrialSpec,
@@ -31,6 +32,8 @@ __all__ = [
     "SweepPoint",
     "TrialSpec",
     "TrialOutcome",
+    "build_dashboard",
+    "write_dashboard",
     "checkpoint_spec",
     "create_spec",
     "resolve_jobs",

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from ..units import MiB
 
-__all__ = ["CheckpointModel", "petaflop_extrapolation"]
+__all__ = ["CheckpointModel", "analytic_horizon", "petaflop_extrapolation"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +60,46 @@ class CheckpointModel:
             "lwfs_create_fraction": distributed / (distributed + dump),
             "create_speedup": central / distributed if distributed > 0 else float("inf"),
         }
+
+
+def analytic_horizon(
+    kind: str,
+    impl: str,
+    n_clients: int,
+    n_servers: int,
+    spec,
+    config,
+    state_bytes: int,
+    creates_per_client: int = 1,
+) -> float:
+    """Model-predicted makespan of one trial, in simulated seconds.
+
+    Purely analytic — a function of the spec/config inputs, never of a
+    measured run — so every consumer that needs a deterministic schedule
+    derives it from here and lands on identical values across processes:
+    the sharded driver's window length (divide by its window target) and
+    the metrics sampler's default period (divide by its sample target).
+
+    *spec* is a :class:`~repro.machine.spec.MachineSpec`, *config* a
+    :class:`~repro.sim.config.SimConfig`; both are duck-typed to keep
+    this module import-light.
+    """
+    storage = spec.io_spec.storage
+    bandwidth = storage.bandwidth if storage is not None else 400 * MiB
+    model = CheckpointModel(
+        n_clients=max(1, n_clients),
+        n_servers=max(1, n_servers),
+        state_bytes=max(1, state_bytes),
+        server_bandwidth=bandwidth,
+        mds_create_time=config.pfs.mds_create_cpu + config.pfs.mds_journal,
+        distributed_create_time=config.lwfs.create_obj_cpu
+        + (storage.meta_op_time if storage is not None else 150e-6),
+    )
+    if kind == "checkpoint":
+        return model.dump_time()
+    if impl.startswith("lustre"):
+        return model.centralized_create_time() * max(1, creates_per_client)
+    return model.distributed_create_time_total() * max(1, creates_per_client)
 
 
 def petaflop_extrapolation(

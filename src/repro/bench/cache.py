@@ -41,7 +41,10 @@ __all__ = ["CACHE_SCHEMA", "TrialCache", "cache_enabled", "default_cache_dir", "
 #: v3: accelerator switches (REPRO_FASTFORWARD / REPRO_SHARD) joined the
 #: key and ``peak_event_queue`` changed meaning (live depth under lazy
 #: cancellation), so v2 entries are stale by construction.
-CACHE_SCHEMA = "repro-trial-cache/v3"
+#: v4: the metrics knobs (REPRO_METRICS / REPRO_METRICS_PERIOD) joined
+#: the key via ``RunOptions.describe()`` and outcome payloads grew the
+#: metrics document + summary, so v3 entries are stale by construction.
+CACHE_SCHEMA = "repro-trial-cache/v4"
 
 
 def cache_enabled() -> bool:
@@ -144,7 +147,10 @@ class TrialCache:
         Fault-injected trials carry their fault log the same way (and the
         caller is usually studying recovery dynamics, not the scalar), so
         they always simulate.  ``RunOptions(cache=False)`` opts a single
-        spec out explicitly.
+        spec out explicitly.  Metered trials (``metrics=True``) DO cache:
+        the exported document is a few KiB of series on a deterministic
+        grid, and the metrics knobs are part of the key, so a metered and
+        an unmetered run of one spec live on different cache lines.
         """
         opts = _resolved_options(spec)
         if opts.trace or opts.faults is not None:

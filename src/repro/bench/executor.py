@@ -53,8 +53,11 @@ __all__ = [
     "sweep_json_path",
 ]
 
-#: Schema marker written into BENCH_sweep.json.
-SWEEP_SCHEMA = "repro-bench-sweep/v1"
+#: Schema marker written into BENCH_sweep.json.  Jumped v1 -> v4 to join
+#: the trial cache's generation numbering (repro-trial-cache/v4): both
+#: stores grew the metrics summary in the same change, and one shared
+#: generation is easier to audit than two drifting ones.
+SWEEP_SCHEMA = "repro-bench-sweep/v4"
 
 #: Cap on recorded sweep entries kept in BENCH_sweep.json.
 SWEEP_HISTORY = 50
@@ -107,6 +110,12 @@ class TrialOutcome:
     #: (``retries``, ``recovered_ops``, ``goodput_degraded``, ...).
     fault_summary: Optional[Dict[str, Any]] = None
     fault_log: Optional[list] = None
+    #: Full exported metrics document when the spec carried
+    #: ``RunOptions(metrics=True)`` (see :mod:`repro.metrics.export`);
+    #: plain JSON dict, so it survives the pool and the trial cache.
+    metrics: Optional[Dict[str, Any]] = None
+    #: Compact series summary + SLO verdict, sized for BENCH_sweep.json.
+    metrics_summary: Optional[Dict[str, Any]] = None
     #: ``True`` when the outcome came from the persistent trial cache
     #: (``wall_clock_s`` is then the cache lookup, not a simulation).
     cached: bool = False
@@ -172,6 +181,11 @@ def _run_trial(spec: TrialSpec) -> TrialOutcome:
             if k in result.extra
         }
         fault_summary["fault_log_entries"] = len(result.fault_log)
+    metrics_summary = None
+    if result.metrics is not None:
+        from ..metrics import metrics_summary as summarize_metrics
+
+        metrics_summary = summarize_metrics(result.metrics)
     return TrialOutcome(
         spec=spec,
         value=value,
@@ -186,6 +200,8 @@ def _run_trial(spec: TrialSpec) -> TrialOutcome:
         trace_summary=trace_summary,
         fault_summary=fault_summary,
         fault_log=result.fault_log,
+        metrics=result.metrics,
+        metrics_summary=metrics_summary,
     )
 
 
@@ -219,7 +235,7 @@ def _resolve_cache(cache):
 
 def _outcome_payload(o: TrialOutcome) -> Dict[str, Any]:
     """The deterministic slice of an outcome, as stored in the cache."""
-    return {
+    payload = {
         "value": o.value,
         "unit": o.unit,
         "events_processed": o.events_processed,
@@ -228,9 +244,14 @@ def _outcome_payload(o: TrialOutcome) -> Dict[str, Any]:
         "events_fast_forwarded": o.events_fast_forwarded,
         "window_barriers": o.window_barriers,
     }
+    if o.metrics is not None:
+        payload["metrics"] = o.metrics
+        payload["metrics_summary"] = o.metrics_summary
+    return payload
 
 
 def _cached_outcome(spec: TrialSpec, payload: Dict[str, Any], wall: float) -> TrialOutcome:
+    metrics = payload.get("metrics")
     return TrialOutcome(
         spec=spec,
         value=float(payload["value"]),
@@ -241,6 +262,8 @@ def _cached_outcome(spec: TrialSpec, payload: Dict[str, Any], wall: float) -> Tr
         sim_seconds=float(payload.get("sim_seconds", 0.0)),
         events_fast_forwarded=int(payload.get("events_fast_forwarded", 0)),
         window_barriers=int(payload.get("window_barriers", 0)),
+        metrics=metrics if isinstance(metrics, dict) else None,
+        metrics_summary=payload.get("metrics_summary"),
         cached=True,
     )
 
@@ -402,6 +425,8 @@ def _trial_record(o: TrialOutcome) -> Dict[str, Any]:
         row["trace_summary"] = o.trace_summary
     if o.fault_summary is not None:
         row["fault_summary"] = o.fault_summary
+    if o.metrics_summary is not None:
+        row["metrics_summary"] = o.metrics_summary
     return row
 
 

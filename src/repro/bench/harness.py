@@ -72,6 +72,11 @@ class TrialResult:
     #: :class:`~repro.faults.FaultPlan` (else None).  Deterministic: two
     #: runs of the same spec produce identical logs.
     fault_log: Optional[list] = None
+    #: Exported metrics document (see :mod:`repro.metrics.export`) when
+    #: the trial ran with ``RunOptions(metrics=True)`` (else None).
+    #: Plain JSON-ready dict, so it crosses the sweep executor's
+    #: process-pool boundary and lands in the trial cache.
+    metrics: Optional[dict] = None
 
 
 #: Legacy boolean kwargs already warned about (each warns exactly once).
@@ -228,6 +233,10 @@ def run_checkpoint_trial(
         opts=opts, collapse_state_bytes=state_bytes, **deploy_kwargs
     )
     tracer = _maybe_trace(cluster, opts.trace)
+    sampler = _maybe_metrics(
+        cluster, deployment, opts, "checkpoint", impl, n_clients, n_servers,
+        state_bytes=state_bytes,
+    )
 
     # Under fault injection a checkpoint can abort wholesale (2PC presumed
     # abort wipes the uncommitted creates at a rebooted server); real
@@ -242,6 +251,10 @@ def run_checkpoint_trial(
     if injector is not None:
         injector.finish()
         extra.update(injector.stats())
+    fault_log = injector.log if injector is not None else None
+    metrics_doc = _finish_metrics(sampler, fault_log)
+    if sampler is not None:
+        extra.update(sampler.stats())
     return TrialResult(
         impl=impl,
         n_clients=n_clients,
@@ -253,7 +266,8 @@ def run_checkpoint_trial(
         create_max_elapsed=max(r.create_elapsed for r in results),
         extra=extra,
         trace=tracer.spans if tracer is not None else None,
-        fault_log=injector.log if injector is not None else None,
+        fault_log=fault_log,
+        metrics=metrics_doc,
     )
 
 
@@ -288,6 +302,10 @@ def run_create_trial(
         impl, n_clients, n_servers, seed, spec, config, opts=opts, **deploy_kwargs
     )
     tracer = _maybe_trace(cluster, opts.trace)
+    sampler = _maybe_metrics(
+        cluster, deployment, opts, "create", impl, n_clients, n_servers,
+        creates_per_client=creates_per_client,
+    )
     main = create_main(checkpointer, creates_per_client)
     results = app.run(main)
     max_elapsed = max(r.elapsed for r in results)
@@ -298,6 +316,10 @@ def run_create_trial(
     if injector is not None:
         injector.finish()
         extra.update(injector.stats())
+    fault_log = injector.log if injector is not None else None
+    metrics_doc = _finish_metrics(sampler, fault_log)
+    if sampler is not None:
+        extra.update(sampler.stats())
     return TrialResult(
         impl=impl,
         n_clients=n_clients,
@@ -308,7 +330,8 @@ def run_create_trial(
         throughput_mb_s=0.0,
         extra=extra,
         trace=tracer.spans if tracer is not None else None,
-        fault_log=injector.log if injector is not None else None,
+        fault_log=fault_log,
+        metrics=metrics_doc,
     )
 
 
@@ -367,6 +390,60 @@ def _maybe_trace(cluster, trace: bool):
     from ..trace import Tracer
 
     return Tracer.install(cluster.env)
+
+
+def _maybe_metrics(
+    cluster,
+    deployment,
+    opts: RunOptions,
+    kind: str,
+    impl: str,
+    n_clients: int,
+    n_servers: int,
+    state_bytes: int = 0,
+    creates_per_client: int = 1,
+):
+    """Install the metrics registry + sampler when the trial opts in.
+
+    The sampling period is ``opts.metrics_period`` when explicit, else
+    derived from the analytic horizon — a model quantity, so serial,
+    process-pool, and sharded executions of one spec land on the same
+    grid.  Must run after :func:`_build` (the injector is already on
+    ``env.faults``, so the fault-pressure gauges see it) and before the
+    workload launches (``t0`` anchors the grid at setup time).
+    """
+    if not opts.metrics:
+        return None
+    from ..metrics import (
+        MetricsRegistry,
+        Sampler,
+        default_period,
+        install_standard_instruments,
+    )
+    from .analytic import analytic_horizon
+
+    period = opts.metrics_period
+    if period is None:
+        horizon = analytic_horizon(
+            kind, impl, n_clients, n_servers, cluster.spec, cluster.config,
+            state_bytes, creates_per_client,
+        )
+        period = default_period(horizon)
+    registry = MetricsRegistry.install(cluster.env)
+    install_standard_instruments(registry, cluster, deployment)
+    return Sampler(registry, period).start()
+
+
+def _finish_metrics(sampler, fault_log: Optional[list]) -> Optional[dict]:
+    """Close the sampler and export the trial's metrics document."""
+    if sampler is None:
+        return None
+    from ..metrics import build_doc, evaluate_health
+
+    sampler.finish()
+    doc = build_doc(sampler.registry, sampler)
+    doc["health"] = evaluate_health(doc, fault_log=fault_log).to_dict()
+    return doc
 
 
 def _kernel_stats(cluster) -> Dict[str, float]:

@@ -49,12 +49,14 @@ from ..machine.presets import dev_cluster
 from ..machine.spec import MachineSpec
 from ..sim.config import RunOptions, SimConfig
 from ..units import MiB
-from .analytic import CheckpointModel
+from .analytic import analytic_horizon
 from .harness import (
     TrialResult,
     _build,
     _collapse_stats,
+    _finish_metrics,
     _kernel_stats,
+    _maybe_metrics,
     checkpoint_main,
     create_main,
 )
@@ -158,23 +160,10 @@ def _window_length(
         spec.io_spec.nic.latency,
         spec.service_spec.nic.latency,
     ) + spec.hop_latency
-    storage = spec.io_spec.storage
-    bandwidth = storage.bandwidth if storage is not None else 400 * MiB
-    model = CheckpointModel(
-        n_clients=max(1, plan.n_clients),
-        n_servers=max(1, plan.n_servers),
-        state_bytes=max(1, state_bytes),
-        server_bandwidth=bandwidth,
-        mds_create_time=config.pfs.mds_create_cpu + config.pfs.mds_journal,
-        distributed_create_time=config.lwfs.create_obj_cpu
-        + (storage.meta_op_time if storage is not None else 150e-6),
+    horizon = analytic_horizon(
+        kind, impl, plan.n_clients, plan.n_servers, spec, config,
+        state_bytes, creates_per_client,
     )
-    if kind == "checkpoint":
-        horizon = model.dump_time()
-    elif impl.startswith("lustre"):
-        horizon = model.centralized_create_time() * max(1, creates_per_client)
-    else:
-        horizon = model.distributed_create_time_total() * max(1, creates_per_client)
     return max(horizon / TARGET_WINDOWS, wire_min, 1e-6)
 
 
@@ -206,11 +195,19 @@ def _simulate_shard(
         txn_fanout_scale=plan.txn_fanout_scale,
     )
     opts_local = replace(opts, shards=1)
-    cluster, _deployment, checkpointer, app, _injector = _build(
+    cluster, deployment, checkpointer, app, _injector = _build(
         impl, plan.n_clients, plan.n_servers, plan.seed, spec, config,
         opts=opts_local, collapse_state_bytes=state_bytes, **deploy_kwargs
     )
     env = cluster.env
+    # opts.metrics_period was pinned by the parent from the GLOBAL
+    # analytic horizon (see _run_sharded), so every shard samples on the
+    # identical tick grid and the merge is a plain elementwise sum.
+    sampler = _maybe_metrics(
+        cluster, deployment, opts_local, kind, impl, plan.n_clients,
+        plan.n_servers, state_bytes=state_bytes,
+        creates_per_client=creates_per_client,
+    )
     if kind == "checkpoint":
         main = checkpoint_main(checkpointer, state_bytes)
     else:
@@ -235,12 +232,16 @@ def _simulate_shard(
     results = [p.value for p in procs]
     stats = _kernel_stats(cluster)
     stats.update(_collapse_stats(app))
+    metrics_doc = _finish_metrics(sampler, None)
+    if sampler is not None:
+        stats.update(sampler.stats())
     return {
         "count": len(results),
         "sum_elapsed": sum(r.elapsed for r in results),
         "max_elapsed": max(r.elapsed for r in results),
         "create_max_elapsed": max(r.create_elapsed for r in results),
         "stats": stats,
+        "metrics": metrics_doc,
     }
 
 
@@ -341,8 +342,12 @@ def _merge(
         "events_processed", "events_skipped_cancelled",
         "events_fast_forwarded", "window_barriers",
         "flows_active", "rate_recomputes", "ranks_simulated",
+        "metrics_ticks", "metrics_samples", "metrics_synthesized",
     )
-    max_keys = ("peak_event_queue", "sim_seconds", "max_multiplicity")
+    max_keys = (
+        "peak_event_queue", "sim_seconds", "max_multiplicity",
+        "metrics_period",
+    )
     for p in payloads:
         for key, value in p["stats"].items():
             if key in sum_keys:
@@ -352,6 +357,7 @@ def _merge(
     extra["shards"] = float(len(payloads))
     if kind == "create":
         extra["creates_per_s"] = n_clients * creates_per_client / max_elapsed
+    metrics_doc = _merge_metrics([p.get("metrics") for p in payloads])
     return TrialResult(
         impl=impl,
         n_clients=n_clients,
@@ -365,7 +371,93 @@ def _merge(
         ),
         create_max_elapsed=max(p["create_max_elapsed"] for p in payloads),
         extra=extra,
+        metrics=metrics_doc,
     )
+
+
+def _merge_metrics(docs: List[Optional[dict]]) -> Optional[dict]:
+    """Sum per-shard series into one global document, on lockstep grids.
+
+    Every shard sampled on the identical tick grid (the parent pinned
+    ``metrics_period`` from the global analytic horizon), so a merged
+    sample is the elementwise sum over shards — shards are disjoint
+    slices of one machine, so sums *are* the global totals.  A shard
+    whose run ended before tick ``i`` contributes its final sampled
+    value (its counters are frozen once its slice drains).  Same-named
+    per-server series (each shard names its servers ``stor0..``) sum the
+    k-th server of every shard group; the aggregate series are the
+    global story.  The documented cross-mode tolerance is on final
+    model-scope totals (~2%: distinct jitter draws and the mean-field
+    service split), pinned by the shard equivalence tests.
+    """
+    docs = [d for d in docs if d is not None]
+    if not docs:
+        return None
+    base = docs[0]
+    merged_instruments = []
+    by_name_all = [
+        {inst["name"]: inst for inst in d["instruments"]} for d in docs
+    ]
+    last_tick = 0
+    for per_doc in by_name_all:
+        for inst in per_doc.values():
+            indices = inst["series"]["indices"]
+            if indices:
+                last_tick = max(last_tick, indices[-1])
+    # Union of names, insertion-ordered (shard 0 first, then any series
+    # only a bigger shard carries) — deterministic export order.
+    ordered: Dict[str, dict] = {}
+    for per_doc in by_name_all:
+        for name, inst in per_doc.items():
+            ordered.setdefault(name, inst)
+    for name, inst in ordered.items():
+        parts = [b[name] for b in by_name_all if name in b]
+        values_by_tick: Dict[int, float] = {}
+        final = 0.0
+        for part in parts:
+            series = dict(zip(part["series"]["indices"], part["series"]["values"]))
+            tail = part["series"]["values"][-1] if part["series"]["values"] else 0.0
+            part_last = part["series"]["indices"][-1] if part["series"]["indices"] else 0
+            for i in range(1, last_tick + 1):
+                v = series.get(i, tail if i > part_last else 0.0)
+                values_by_tick[i] = values_by_tick.get(i, 0.0) + v
+            f = part.get("final")
+            final += float(f) if isinstance(f, (int, float)) else tail
+        ticks = sorted(values_by_tick)
+        merged_instruments.append(
+            {
+                "name": name,
+                "kind": inst["kind"],
+                "unit": inst["unit"],
+                "scope": inst["scope"],
+                "series": {
+                    "indices": ticks,
+                    "values": [values_by_tick[i] for i in ticks],
+                    "dropped": sum(p["series"].get("dropped", 0) for p in parts),
+                },
+                "final": final,
+            }
+        )
+    merged = {
+        "schema": base["schema"],
+        "t0": min(float(d["t0"]) for d in docs),
+        "period": float(base["period"]),
+        "t_end": max(float(d["t_end"]) for d in docs),
+        "sampler": {
+            "ticks": sum(d["sampler"]["ticks"] for d in docs),
+            "samples": sum(d["sampler"]["samples"] for d in docs),
+            "synthesized": sum(d["sampler"]["synthesized"] for d in docs),
+            "max_stride": max(d["sampler"]["max_stride"] for d in docs),
+        },
+        "instruments": merged_instruments,
+        "merged_shards": len(docs),
+    }
+    from ..metrics import evaluate_health
+
+    # Sharded runs never carry fault plans (_shardable rejects them);
+    # the merged health still reports baseline/verdict on global goodput.
+    merged["health"] = evaluate_health(merged).to_dict()
+    return merged
 
 
 def _run_sharded(
@@ -396,6 +488,17 @@ def _run_sharded(
             impl, n_clients, n_servers, creates_per_client=creates_per_client,
             seed=seed, spec=spec, config=config, options=single, **deploy_kwargs
         )
+    if opts.metrics and opts.metrics_period is None:
+        # Pin the sampling grid from the GLOBAL analytic horizon before
+        # fan-out: each shard would otherwise derive a period from its
+        # own slice and the grids would never line up for the merge.
+        from ..metrics import default_period
+
+        horizon = analytic_horizon(
+            kind, impl, n_clients, n_servers, spec or dev_cluster(),
+            config or SimConfig(), state_bytes, creates_per_client,
+        )
+        opts = replace(opts, metrics_period=default_period(horizon))
     plans = plan_shards(n_clients, n_servers, opts.shards, seed)
     arg_sets = [
         (kind, impl, plan, spec, config, opts, state_bytes,

@@ -7,8 +7,15 @@ Runs the paper's experiments from a shell without writing any code:
 * ``fig9`` / ``fig10``             — a full panel, charted in ASCII,
 * ``trace``                        — one traced trial: phase report,
   timeline, and Chrome trace-event JSON for ``chrome://tracing``,
+* ``metrics``                      — inspect a saved metrics export:
+  series table with sparklines, SLO verdict, optional HTML dashboard,
 * ``petaflop``                     — the §4 closing extrapolation,
 * ``examples``                     — list the runnable example scripts.
+
+``checkpoint --metrics [EXPORT.json]`` meters a trial with the
+time-series sampler (:mod:`repro.metrics`) and prints the series
+report; with a path it also writes the JSON export that the
+``metrics`` subcommand and the dashboard read back.
 """
 
 from __future__ import annotations
@@ -76,6 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="split this one run into N server-group shards "
                             "simulated by parallel worker processes "
                             "(also REPRO_SHARD=N; REPRO_SHARD=0 kills)")
+    point.add_argument("--metrics", nargs="?", const="-", default=None,
+                       metavar="EXPORT.json",
+                       help="sample time-series metrics during the run and "
+                            "print the series report; with a path, also "
+                            "write the JSON export (also REPRO_METRICS=1)")
+    point.add_argument("--metrics-period", type=float, default=None,
+                       metavar="SECONDS",
+                       help="sampling period in simulated seconds (default: "
+                            "derived from the analytic horizon; also "
+                            "REPRO_METRICS_PERIOD)")
 
     create = sub.add_parser("create", help="one Fig. 10 point (creates/s)")
     create.add_argument("--impl", default="lwfs", choices=["lwfs", "lustre-fpp"])
@@ -136,6 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write Chrome trace-event JSON here (chrome://tracing)")
     trace.add_argument("--timeline-lines", type=int, default=40,
                        help="max lines of the text timeline to print (0 = skip)")
+
+    metrics = sub.add_parser(
+        "metrics", help="inspect a saved metrics export (series, SLO verdict)"
+    )
+    metrics.add_argument("export", metavar="EXPORT.json",
+                         help="metrics export written by `checkpoint --metrics PATH`")
+    metrics.add_argument("--rows", type=int, default=40,
+                         help="max instrument rows to print (0 = all)")
+    metrics.add_argument("--csv", default=None, metavar="PATH",
+                         help="also dump the series in long-format CSV")
+    metrics.add_argument("--dashboard", default=None, metavar="PATH",
+                         help="also render a single-trial HTML dashboard")
 
     sub.add_parser("petaflop", help="§4 extrapolation to a petaflop machine")
     sub.add_parser("examples", help="list the runnable examples")
@@ -220,6 +249,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             faults=args.faults,
             fastforward=args.fastforward,
             shards=args.shards,
+            metrics=True if args.metrics is not None else None,
+            metrics_period=args.metrics_period,
         )
         result = run_checkpoint_trial(
             args.impl, args.clients, args.servers,
@@ -246,6 +277,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         if result.fault_log is not None:
             _print_fault_summary(result)
+        if args.metrics is not None and result.metrics is not None:
+            from .metrics import format_metrics, write_json
+
+            print()
+            print(format_metrics(result.metrics))
+            if args.metrics != "-":
+                write_json(result.metrics, args.metrics)
+                print(f"(wrote {args.metrics})")
         if args.trace is not None:
             _export_trace(result, args.trace)
 
@@ -321,6 +360,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.timeline_lines > 0:
             print()
             print(format_timeline(result.trace, max_lines=args.timeline_lines))
+
+    elif args.command == "metrics":
+        import json
+
+        from .metrics import format_metrics, validate_metrics_doc, write_csv
+
+        with open(args.export, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        errors = validate_metrics_doc(doc)
+        if errors:
+            for err in errors:
+                print(f"invalid metrics document: {err}", file=sys.stderr)
+            return 1
+        print(format_metrics(doc, max_rows=args.rows or len(doc["instruments"])))
+        if args.csv:
+            write_csv(doc, args.csv)
+            print(f"(wrote {args.csv})")
+        if args.dashboard:
+            from .bench.dashboard import write_dashboard
+
+            write_dashboard(args.dashboard, [(args.export, doc)])
+            print(f"(wrote {args.dashboard})")
 
     elif args.command == "petaflop":
         summary = petaflop_extrapolation().summary()

@@ -191,6 +191,9 @@ class FlowNetwork:
         self.flows_active = 0
         self.flows_peak = 0
         self.rate_recomputes = 0
+        #: Wire bytes of every completed flow (both engines); the moving
+        #: half of :meth:`bytes_moved`.
+        self.bytes_completed = 0.0
         #: Fast-forward engine state: resource -> insertion-ordered dict
         #: of active flows (dict-as-ordered-set keeps component walks
         #: deterministic), plus the closed-form completion heap.
@@ -251,6 +254,42 @@ class FlowNetwork:
             self._recompute()
             self._reschedule()
         return flow
+
+    def bytes_moved(self) -> Tuple[float, float]:
+        """``(wire bytes moved so far, current aggregate drain rate)``.
+
+        The metrics probe behind the ``flow.bytes``
+        :class:`~repro.metrics.registry.LinearGauge`: completed flows
+        contribute their full ``wire_bytes``; live flows contribute
+        their drained fraction of it, extrapolated from the engine's
+        last drain point to *now* (rates are exactly constant between
+        events, so the extrapolation is closed-form, not an estimate).
+        Both engines agree to float-association noise — far inside the
+        1e-9 fast-forward gate.  Read-only: draining stays lazy.
+        """
+        now = self.env._now
+        moved = self.bytes_completed
+        slope = 0.0
+        if self._ff:
+            live: Dict[Flow, None] = {}
+            for members in self._res_flows.values():
+                live.update(members)
+            flows = sorted(live, key=_flow_seq)
+            for f in flows:
+                remaining = f.remaining - f.rate * (now - f.t_last)
+                if remaining < 0.0:
+                    remaining = 0.0
+                moved += (f.nbytes - remaining) / f.nbytes * f.wire_bytes
+                slope += f.rate / f.nbytes * f.wire_bytes
+        else:
+            dt = now - self._last
+            for f in self._flows:
+                remaining = f.remaining - f.rate * dt
+                if remaining < 0.0:
+                    remaining = 0.0
+                moved += (f.nbytes - remaining) / f.nbytes * f.wire_bytes
+                slope += f.rate / f.nbytes * f.wire_bytes
+        return moved, slope
 
     # -- internals ----------------------------------------------------------
     def _advance(self) -> None:
@@ -352,6 +391,7 @@ class FlowNetwork:
             tracer = self.env.tracer
             for f in finished:
                 f.remaining = 0.0
+                self.bytes_completed += f.wire_bytes
                 if tracer is not None:
                     tracer.record(
                         f"xfer-flow:{f.tag}" if f.tag else "xfer-flow",
@@ -511,6 +551,7 @@ class FlowNetwork:
             self._refresh_component(comp)
         tracer = env.tracer
         for f in finished:
+            self.bytes_completed += f.wire_bytes
             if tracer is not None:
                 tracer.record(
                     f"xfer-flow:{f.tag}" if f.tag else "xfer-flow",

@@ -381,6 +381,9 @@ class RpcClient:
                         f"{attempt} attempts: {exc}"
                     ) from exc
                 faults.note_retry()
+                m = self.env.metrics
+                if m is not None:
+                    m.count("rpc.retries")
                 tracer = self.env.tracer
                 t0 = self.env._now if tracer is not None else 0.0
                 yield self.env.timeout(min(delay, policy.max_delay) * faults.backoff_scale())
@@ -449,6 +452,9 @@ class RpcClient:
             # timeout waiting for a reply that never comes.
             yield self.env.timeout(timeout)
             self.endpoint.detach(REPLY_PORTAL, me)
+            m = self.env.metrics
+            if m is not None:
+                m.count("rpc.timeouts")
             raise RPCTimeout(
                 f"{service}.{op} request to node {target_node} dropped (fault injection)"
             )
@@ -471,6 +477,9 @@ class RpcClient:
             yield self.env.any_of([get_ev, timer])
             if not get_ev.triggered:
                 self.endpoint.detach(REPLY_PORTAL, me)
+                m = self.env.metrics
+                if m is not None:
+                    m.count("rpc.timeouts")
                 raise RPCTimeout(
                     f"{service}.{op} on node {target_node} timed out after {timeout}s"
                 )

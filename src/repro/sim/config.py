@@ -180,6 +180,8 @@ class RunOptions:
     lazy_kernel    ``REPRO_KERNEL_LAZY``    True
     cache          ``REPRO_BENCH_CACHE``    True
     fastforward    ``REPRO_FASTFORWARD``    True
+    metrics        ``REPRO_METRICS``        False
+    metrics_period ``REPRO_METRICS_PERIOD`` None (auto)
     shards         ``REPRO_SHARD`` (int)    1
     faults         ``REPRO_FAULTS`` (path)  None
     ============== ======================== =======
@@ -199,6 +201,15 @@ class RunOptions:
     #: Analytic steady-state fast-forward in the flow engine
     #: (:mod:`repro.network.flow`); only observable on flow-mode runs.
     fastforward: Optional[bool] = None
+    #: Time-series metrics sampling (:mod:`repro.metrics`): install the
+    #: standard instrument pack and a simulated-time sampler, attach the
+    #: exported document to the trial result.
+    metrics: Optional[bool] = None
+    #: Explicit sampling period in simulated seconds; ``None`` derives a
+    #: deterministic period from the analytic horizon
+    #: (:func:`repro.metrics.sampler.default_period`).  Stays ``None``
+    #: after :meth:`resolved` when unset — "auto" is a real state.
+    metrics_period: Optional[float] = None
     #: Worker-process count for sharded simulation of one big run
     #: (:mod:`repro.bench.shard`); ``1`` (or ``0``) means single-process.
     shards: Optional[int] = None
@@ -213,6 +224,7 @@ class RunOptions:
         "lazy_kernel": "REPRO_KERNEL_LAZY",
         "cache": "REPRO_BENCH_CACHE",
         "fastforward": "REPRO_FASTFORWARD",
+        "metrics": "REPRO_METRICS",
     }
     _DEFAULTS = {
         "collapse": False,
@@ -222,6 +234,7 @@ class RunOptions:
         "lazy_kernel": True,
         "cache": True,
         "fastforward": True,
+        "metrics": False,
     }
 
     def resolved(self) -> "RunOptions":
@@ -234,6 +247,16 @@ class RunOptions:
                 continue
             from_env = _env_flag(env_name)
             values[name] = self._DEFAULTS[name] if from_env is None else from_env
+        period = self.metrics_period
+        if period is None:
+            raw_period = env_str("REPRO_METRICS_PERIOD").strip()
+            if raw_period:
+                try:
+                    period = float(raw_period)
+                except ValueError:
+                    period = None
+        if period is not None and period <= 0:
+            period = None  # nonsense cadence -> auto
         raw_shard = env_str("REPRO_SHARD").strip()
         if raw_shard == "0":
             shards = 1  # kill switch: beats even an explicit shards=N
@@ -253,7 +276,9 @@ class RunOptions:
             from ..faults.plan import load_plan
 
             faults = load_plan(faults)
-        return RunOptions(faults=faults, shards=shards, **values)
+        return RunOptions(
+            faults=faults, shards=shards, metrics_period=period, **values
+        )
 
     def describe(self) -> dict:
         """A JSON-stable identity of the *resolved* options.
@@ -266,5 +291,6 @@ class RunOptions:
         opts = self.resolved()
         doc = {name: getattr(opts, name) for name in self._ENV}
         doc["shards"] = opts.shards
+        doc["metrics_period"] = opts.metrics_period
         doc["faults"] = opts.faults.signature() if opts.faults is not None else ""
         return doc

@@ -9,7 +9,7 @@ metadata-server-bound.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 __all__ = ["utilization_report", "format_utilization"]
 
@@ -32,8 +32,28 @@ def _cache_cols(cache) -> Dict[str, object]:
     }
 
 
-def utilization_report(deployment, elapsed: float) -> List[Dict[str, object]]:
-    """Per-server utilization rows for an LWFS or PFS deployment."""
+def utilization_report(
+    deployment, elapsed: Optional[float] = None
+) -> List[Dict[str, object]]:
+    """Per-server utilization rows for an LWFS or PFS deployment.
+
+    *elapsed* is the wall-clock denominator for the utilization ratios;
+    when omitted it is derived from the deployment's simulation clock
+    (``env.now``), which is what every caller was passing by hand.  A
+    negative value — a denominator from a different run, or a clock
+    read before the run started — raises :class:`ValueError` rather
+    than producing utilizations with the wrong sign.
+    """
+    if elapsed is None:
+        env = getattr(getattr(deployment, "cluster", None), "env", None)
+        if env is None:
+            raise ValueError(
+                "utilization_report: deployment has no cluster.env to "
+                "derive elapsed from; pass elapsed explicitly"
+            )
+        elapsed = float(env.now)
+    if elapsed < 0.0:
+        raise ValueError(f"utilization_report: negative elapsed {elapsed!r}")
     rows: List[Dict[str, object]] = []
     servers = getattr(deployment, "storage", None) or getattr(deployment, "osts", [])
     for server in servers:

@@ -53,19 +53,35 @@ class Tally:
         return math.sqrt(self.variance)
 
     def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile; needs ``keep_samples=True``."""
+        """Linear-interpolated percentile; needs ``keep_samples=True``.
+
+        *q* is a quantile in ``[0, 1]`` — ``0.999`` for p999.  Values
+        outside that range raise :class:`ValueError` (a silent clamp
+        would hide a caller passing 99.9 where 0.999 was meant).
+        """
+        return self.percentiles((q,))[0]
+
+    def percentiles(self, qs) -> List[float]:
+        """:meth:`percentile` for several quantiles with a single sort."""
         if self.samples is None:
             raise ValueError(f"Tally {self.name!r} was not keeping samples")
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile {q!r} outside [0, 1]")
         if not self.samples:
-            return math.nan
+            return [math.nan for _ in qs]
         ordered = sorted(self.samples)
-        rank = (len(ordered) - 1) * q
-        lo = math.floor(rank)
-        hi = math.ceil(rank)
-        if lo == hi:
-            return ordered[lo]
-        frac = rank - lo
-        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        out: List[float] = []
+        for q in qs:
+            rank = (len(ordered) - 1) * q
+            lo = math.floor(rank)
+            hi = math.ceil(rank)
+            if lo == hi:
+                out.append(ordered[lo])
+            else:
+                frac = rank - lo
+                out.append(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+        return out
 
     def summary(self) -> Dict[str, float]:
         out = {
@@ -77,8 +93,7 @@ class Tally:
             "total": self.total,
         }
         if self.samples is not None:
-            out["p50"] = self.percentile(0.50)
-            out["p99"] = self.percentile(0.99)
+            out["p50"], out["p99"], out["p999"] = self.percentiles((0.50, 0.99, 0.999))
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -103,7 +118,13 @@ class Monitor:
 
     def set(self, level: float) -> None:
         now = self.env.now
-        self._area += self._level * (now - self._last_time)
+        # Identical timestamps (several set() calls in one event) add a
+        # zero-width rectangle; a clock that appears to run backwards
+        # (a monitor wired to a stale environment) must not subtract
+        # area, so the width is clamped at zero.
+        dt = now - self._last_time
+        if dt > 0.0:
+            self._area += self._level * dt
         self._last_time = now
         self._level = level
         if level > self.max_level:
@@ -121,7 +142,7 @@ class Monitor:
             # and queried at t == start; NaN says "no data", matching
             # Tally.mean's empty-sample convention.
             return math.nan
-        area = self._area + self._level * (now - self._last_time)
+        area = self._area + self._level * max(0.0, now - self._last_time)
         return area / elapsed
 
 

@@ -7,6 +7,7 @@ import pytest
 
 from repro.bench import measure_create_point, measure_point
 from repro.bench.executor import (
+    SWEEP_SCHEMA,
     checkpoint_spec,
     create_spec,
     resolve_jobs,
@@ -123,7 +124,7 @@ class TestRecording:
         run_sweep(specs, jobs=1, label="unit-b")
 
         doc = json.loads(path.read_text())
-        assert doc["schema"] == "repro-bench-sweep/v1"
+        assert doc["schema"] == SWEEP_SCHEMA
         labels = [s["label"] for s in doc["sweeps"]]
         assert labels == ["unit-a", "unit-b"]
         sweep = doc["sweeps"][0]

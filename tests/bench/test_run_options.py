@@ -86,7 +86,10 @@ class TestResolutionOrder:
 
     def test_describe_is_json_stable(self):
         doc = RunOptions().describe()
-        assert set(doc) == set(RunOptions._ENV) | {"faults", "shards"}
+        assert set(doc) == set(RunOptions._ENV) | {
+            "faults", "shards", "metrics_period",
+        }
+        assert doc["metrics_period"] is None  # "auto" is a real state
         assert doc["faults"] == ""
         plan = FaultPlan(seed=9)
         assert RunOptions(faults=plan).describe()["faults"] == plan.signature()

@@ -1,0 +1,125 @@
+"""The HTML dashboard generator: per-trial health view + regression panel.
+
+Contract under test: the renderer degrades gracefully (no metrics, no
+sweep history), shades degraded windows, and flags >5% cross-sweep
+drift as a regression — it is the human-facing end of the pipeline, so
+it must never throw on a document the schema accepts.
+"""
+
+import pytest
+
+from repro.bench.dashboard import (
+    REGRESSION_TOL,
+    build_dashboard,
+    main,
+    render_metrics_doc,
+    render_sweeps,
+    write_dashboard,
+)
+
+
+def _doc_with_health():
+    n = 40
+    return {
+        "schema": "repro-metrics/v1",
+        "t0": 0.0,
+        "period": 0.1,
+        "t_end": n * 0.1,
+        "sampler": {"ticks": n, "samples": n, "synthesized": 0, "max_stride": 512},
+        "instruments": [
+            {
+                "name": "fabric.bytes",
+                "kind": "gauge",
+                "unit": "B",
+                "scope": "model",
+                "series": {
+                    "indices": list(range(1, n + 1)),
+                    "values": [float(i) * 1e6 for i in range(1, n + 1)],
+                    "dropped": 0,
+                },
+                "final": n * 1e6,
+            }
+        ],
+        "health": {
+            "verdict": "degraded",
+            "baseline_rate": 1e7,
+            "floor_rate": 5e6,
+            "p999_rate": 1.2e7,
+            "degraded_windows": [
+                {"t_start": 1.0, "t_end": 2.0, "seconds": 1.0, "mean_rate": 1e5}
+            ],
+            "degraded_seconds": 1.0,
+            "time_to_recovery": [
+                {
+                    "kind": "server_crash", "target": "stor0",
+                    "t_inject": 1.0, "t_recover": 2.0,
+                    "time_to_recovery": 1.0, "source": "target",
+                }
+            ],
+        },
+    }
+
+
+def _sweep_doc(latest):
+    row = {
+        "kind": "checkpoint", "impl": "lwfs", "n_clients": 8,
+        "n_servers": 4, "seed": 1, "unit": "MB/s",
+    }
+    return {
+        "schema": "repro-bench-sweep/v4",
+        "sweeps": [
+            {"label": "a", "per_trial": [dict(row, value=100.0)]},
+            {"label": "b", "per_trial": [dict(row, value=101.0)]},
+            {"label": "c", "per_trial": [dict(row, value=latest)]},
+        ],
+    }
+
+
+class TestTrialPanel:
+    def test_health_block_rendered(self):
+        html = render_metrics_doc(_doc_with_health())
+        assert "degraded" in html
+        assert "stor0" in html
+        assert "<svg" in html
+
+    def test_verdict_without_health_block(self):
+        doc = _doc_with_health()
+        del doc["health"]
+        html = render_metrics_doc(doc)
+        assert "fabric.bytes" in html
+
+
+class TestRegressionPanel:
+    def test_drift_over_tolerance_flagged(self):
+        html = render_sweeps(_sweep_doc(latest=120.0))
+        assert "REGRESSION" in html
+
+    def test_steady_history_not_flagged(self):
+        html = render_sweeps(_sweep_doc(latest=100.0))
+        assert "REGRESSION" not in html
+        assert REGRESSION_TOL == 0.05
+
+    def test_empty_history(self):
+        assert "no recorded sweeps" in render_sweeps({"sweeps": []})
+
+
+class TestFiles:
+    def test_write_dashboard(self, tmp_path):
+        path = tmp_path / "dash.html"
+        out = write_dashboard(
+            str(path), [("trial", _doc_with_health())], _sweep_doc(90.0)
+        )
+        text = path.read_text()
+        assert out == str(path)
+        assert text.startswith("<!DOCTYPE html>") or "<html" in text
+        assert "degraded" in text and "REGRESSION" in text
+
+    def test_cli_main(self, tmp_path):
+        import json
+
+        metrics = tmp_path / "m.json"
+        metrics.write_text(json.dumps(_doc_with_health()))
+        out = tmp_path / "dash.html"
+        rc = main(["--metrics", str(metrics), "-o", str(out)])
+        assert rc == 0
+        assert out.exists()

@@ -69,6 +69,37 @@ def test_mds_visible_in_pfs_report():
     assert mds["requests"] >= 4 * 2  # create+close per rank at least
 
 
+def test_elapsed_derived_from_sim_clock():
+    # Every caller was passing env.now by hand; omitting elapsed must
+    # produce the same rows as passing the clock explicitly.
+    cluster = SimCluster(dev_cluster(), SimConfig(), compute_nodes=4, io_nodes=2, service_nodes=1)
+    dep = LWFSDeployment(cluster, n_storage_servers=2)
+    run_checkpoint(LWFSCheckpointer, dep, cluster)
+    derived = utilization_report(dep)
+    explicit = utilization_report(dep, cluster.env.now)
+    assert derived == explicit
+    assert all(0.0 <= r["disk_util"] <= 1.0 + 1e-9 for r in derived)
+
+
+def test_negative_elapsed_rejected():
+    import pytest
+
+    cluster = SimCluster(dev_cluster(), SimConfig(), compute_nodes=2, io_nodes=2, service_nodes=1)
+    dep = LWFSDeployment(cluster, n_storage_servers=2)
+    with pytest.raises(ValueError, match="negative elapsed"):
+        utilization_report(dep, -1.0)
+
+
+def test_deployment_without_cluster_needs_explicit_elapsed():
+    import pytest
+
+    class Bare:
+        storage = []
+
+    with pytest.raises(ValueError, match="cluster.env"):
+        utilization_report(Bare())
+
+
 def test_format_utilization_renders():
     cluster = SimCluster(dev_cluster(), SimConfig(), compute_nodes=2, io_nodes=2, service_nodes=1)
     dep = LWFSDeployment(cluster, n_storage_servers=2)

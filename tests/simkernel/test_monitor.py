@@ -67,6 +67,38 @@ class TestTally:
         t = Tally(keep_samples=True)
         assert math.isnan(t.percentile(0.5))
 
+    @pytest.mark.parametrize("q", [-0.1, 1.1, 100.0])
+    def test_percentile_validates_quantile(self, q):
+        t = Tally(keep_samples=True)
+        t.observe(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            t.percentile(q)
+
+    def test_percentiles_batch_single_sort(self):
+        t = Tally(keep_samples=True)
+        for v in range(1, 1001):
+            t.observe(float(v))
+        p50, p99, p999 = t.percentiles((0.50, 0.99, 0.999))
+        assert p50 == t.percentile(0.50)
+        assert p99 == t.percentile(0.99)
+        assert p999 == pytest.approx(999.001)
+
+    def test_percentiles_validate_every_quantile(self):
+        t = Tally(keep_samples=True)
+        t.observe(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            t.percentiles((0.5, 2.0))
+
+    def test_percentiles_empty_is_nan_list(self):
+        t = Tally(keep_samples=True)
+        assert all(math.isnan(v) for v in t.percentiles((0.1, 0.9)))
+
+    def test_summary_includes_p999(self):
+        t = Tally(keep_samples=True)
+        for v in range(1, 101):
+            t.observe(float(v))
+        assert t.summary()["p999"] == pytest.approx(99.901)
+
 
 class TestMonitor:
     def test_time_average(self):
@@ -102,6 +134,33 @@ class TestMonitor:
         mon.set(7)
         assert math.isnan(mon.time_average())
         assert mon.level == 7
+
+    def test_same_timestamp_sets_add_zero_width_rectangles(self):
+        # Several set() calls inside one event must not accumulate area:
+        # only the level that persists across simulated time counts.
+        env = Environment()
+        mon = Monitor(env, "queue")
+
+        def driver(env):
+            mon.set(100)
+            mon.set(2)  # same timestamp: the 100 never existed for any dt
+            yield env.timeout(10)
+            mon.set(0)
+
+        env.process(driver(env))
+        env.run()
+        assert mon.time_average() == pytest.approx(2.0)
+
+    def test_stale_clock_never_subtracts_area(self):
+        # A monitor wired to an environment whose clock it saw "later"
+        # (manual _last_time manipulation stands in for a stale env)
+        # clamps negative widths at zero instead of eating area.
+        env = Environment()
+        mon = Monitor(env, "queue")
+        mon.set(5)
+        mon._last_time = 100.0  # clock now appears to run backwards
+        mon.set(3)
+        assert mon._area == 0.0
 
 
 class TestCounter:
