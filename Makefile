@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick trace-quick scale-quick flow-quick chaos-quick shard-quick metrics-quick
+.PHONY: test bench bench-quick trace-quick scale-quick flow-quick chaos-quick shard-quick metrics-quick traffic-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -66,6 +66,18 @@ chaos-quick:
 # and the rendered results/metrics_dashboard.html (the CI artifact).
 metrics-quick:
 	$(PYTHON) -m repro.metrics
+
+# Traffic smoke: five gates in one module run — workload-spec JSON
+# round-trip, seeded-run determinism, the REPRO_TENANT_COLLAPSE kill
+# switch bit-identical at multiplicity 1, collapse accuracy within 1%
+# at class sizes of 10^3, and scale invariance (100x the tenants at
+# constant rate: same session count, same event count).  Writes
+# results/traffic_quick.json; finishes with one CLI trial driven by the
+# example workload so the --workload path stays wired.
+traffic-quick:
+	$(PYTHON) -m repro.workload
+	$(PYTHON) -m repro traffic --workload examples/workloads/diurnal_mixed.json \
+		--servers 8 --seed 1
 
 # One traced checkpoint trial: phase report, timeline, and Chrome trace
 # JSON (results/trace_quick.json), schema-validated.

@@ -7,6 +7,7 @@ from .executor import (
     TrialSpec,
     checkpoint_spec,
     create_spec,
+    workload_spec,
     resolve_jobs,
     run_sweep,
     run_trials,
@@ -36,6 +37,7 @@ __all__ = [
     "write_dashboard",
     "checkpoint_spec",
     "create_spec",
+    "workload_spec",
     "resolve_jobs",
     "run_trials",
     "run_sweep",

@@ -44,7 +44,12 @@ __all__ = ["CACHE_SCHEMA", "TrialCache", "cache_enabled", "default_cache_dir", "
 #: v4: the metrics knobs (REPRO_METRICS / REPRO_METRICS_PERIOD) joined
 #: the key via ``RunOptions.describe()`` and outcome payloads grew the
 #: metrics document + summary, so v3 entries are stale by construction.
-CACHE_SCHEMA = "repro-trial-cache/v4"
+#: v5: open-loop workload trials joined the executor — the workload
+#: spec's content signature and the tenant-collapse knob (plus its raw
+#: ``REPRO_TENANT_COLLAPSE`` kill switch) are part of the key, and
+#: outcome payloads grew tenants_simulated / max_class_multiplicity and
+#: per-tenant-class latency rows, so v4 entries are stale by construction.
+CACHE_SCHEMA = "repro-trial-cache/v5"
 
 
 def cache_enabled() -> bool:
@@ -125,6 +130,7 @@ def trial_key(spec) -> str:
         "flow": env_str("REPRO_FLOW", ""),
         "fastforward": env_str("REPRO_FASTFORWARD", ""),
         "shard": env_str("REPRO_SHARD", ""),
+        "tenant_collapse": env_str("REPRO_TENANT_COLLAPSE", ""),
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -47,6 +47,7 @@ __all__ = [
     "TrialOutcome",
     "checkpoint_spec",
     "create_spec",
+    "workload_spec",
     "resolve_jobs",
     "run_trials",
     "run_sweep",
@@ -56,8 +57,10 @@ __all__ = [
 #: Schema marker written into BENCH_sweep.json.  Jumped v1 -> v4 to join
 #: the trial cache's generation numbering (repro-trial-cache/v4): both
 #: stores grew the metrics summary in the same change, and one shared
-#: generation is easier to audit than two drifting ones.
-SWEEP_SCHEMA = "repro-bench-sweep/v4"
+#: generation is easier to audit than two drifting ones.  v5: open-loop
+#: workload trials (kind="workload") joined the sweep, and per-trial
+#: rows grew tenants_simulated / max_class_multiplicity.
+SWEEP_SCHEMA = "repro-bench-sweep/v5"
 
 #: Cap on recorded sweep entries kept in BENCH_sweep.json.
 SWEEP_HISTORY = 50
@@ -67,7 +70,7 @@ SWEEP_HISTORY = 50
 class TrialSpec:
     """One independent simulation to run: what, at which point, which seed."""
 
-    kind: str  # "checkpoint" (Fig. 9) or "create" (Fig. 10)
+    kind: str  # "checkpoint" (Fig. 9), "create" (Fig. 10), or "workload"
     impl: str
     n_clients: int
     n_servers: int
@@ -116,6 +119,11 @@ class TrialOutcome:
     metrics: Optional[Dict[str, Any]] = None
     #: Compact series summary + SLO verdict, sized for BENCH_sweep.json.
     metrics_summary: Optional[Dict[str, Any]] = None
+    #: Open-loop workload trials: how many tenants the run stood for and
+    #: the largest tenant multiplicity one representative session carried
+    #: (0 for the closed-loop checkpoint/create kinds).
+    tenants_simulated: int = 0
+    max_class_multiplicity: int = 0
     #: ``True`` when the outcome came from the persistent trial cache
     #: (``wall_clock_s`` is then the cache lookup, not a simulation).
     cached: bool = False
@@ -129,6 +137,26 @@ def checkpoint_spec(impl: str, n_clients: int, n_servers: int, seed: int, **para
 def create_spec(impl: str, n_clients: int, n_servers: int, seed: int, **params) -> TrialSpec:
     """A Fig. 10 create-phase trial (figure of merit: creates/s)."""
     return TrialSpec("create", impl, n_clients, n_servers, seed, params)
+
+
+def workload_spec(workload, n_servers: int, seed: int, **params) -> TrialSpec:
+    """An open-loop multi-tenant traffic trial (figure of merit: ops/s).
+
+    ``workload`` is a :class:`~repro.workload.WorkloadSpec`, a JSON path,
+    or a spec document; its content signature joins the trial-cache key
+    through ``RunOptions.describe``/``params``, so cached outcomes never
+    answer for a different mix.  ``n_clients`` records the simulated
+    tenant population, not a session count.
+    """
+    from ..workload.spec import WorkloadSpec
+
+    n_clients = 0
+    if isinstance(workload, WorkloadSpec):
+        n_clients = workload.total_tenants
+    return TrialSpec(
+        "workload", "lwfs", n_clients, n_servers, seed,
+        dict(params, workload=workload),
+    )
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -162,6 +190,13 @@ def _run_trial(spec: TrialSpec) -> TrialOutcome:
             spec.impl, spec.n_clients, spec.n_servers, seed=spec.seed, **spec.params
         )
         value, unit = result.extra["creates_per_s"], "ops/s"
+    elif spec.kind == "workload":
+        from ..workload.engine import run_workload_trial
+
+        result = run_workload_trial(
+            n_servers=spec.n_servers, seed=spec.seed, **spec.params
+        )
+        value, unit = result.extra["ops_per_s"], "ops/s"
     else:
         raise ValueError(f"unknown trial kind {spec.kind!r}")
     wall = time.perf_counter() - start
@@ -202,6 +237,8 @@ def _run_trial(spec: TrialSpec) -> TrialOutcome:
         fault_log=result.fault_log,
         metrics=result.metrics,
         metrics_summary=metrics_summary,
+        tenants_simulated=int(result.extra.get("tenants_simulated", 0)),
+        max_class_multiplicity=int(result.extra.get("max_class_multiplicity", 0)),
     )
 
 
@@ -244,6 +281,9 @@ def _outcome_payload(o: TrialOutcome) -> Dict[str, Any]:
         "events_fast_forwarded": o.events_fast_forwarded,
         "window_barriers": o.window_barriers,
     }
+    if o.tenants_simulated:
+        payload["tenants_simulated"] = o.tenants_simulated
+        payload["max_class_multiplicity"] = o.max_class_multiplicity
     if o.metrics is not None:
         payload["metrics"] = o.metrics
         payload["metrics_summary"] = o.metrics_summary
@@ -264,13 +304,31 @@ def _cached_outcome(spec: TrialSpec, payload: Dict[str, Any], wall: float) -> Tr
         window_barriers=int(payload.get("window_barriers", 0)),
         metrics=metrics if isinstance(metrics, dict) else None,
         metrics_summary=payload.get("metrics_summary"),
+        tenants_simulated=int(payload.get("tenants_simulated", 0)),
+        max_class_multiplicity=int(payload.get("max_class_multiplicity", 0)),
         cached=True,
     )
 
 
-#: Whether the jobs x shards oversubscription warning already fired
-#: (once per process, like the legacy-kwarg warnings).
-_SHARD_CLAMP_WARNED: List[bool] = []
+#: Keys of one-shot executor warnings that already fired this process.
+#: Convention: every "warn once" site registers a short string key here
+#: via :func:`_warn_once` instead of growing its own module-level flag.
+_WARNED_KEYS: set = set()
+
+
+def _warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
+    """Emit *message* as a RuntimeWarning once per process per *key*.
+
+    Returns whether the warning fired, so callers (and tests) can tell a
+    fresh warning from a deduplicated repeat.
+    """
+    if key in _WARNED_KEYS:
+        return False
+    _WARNED_KEYS.add(key)
+    import warnings
+
+    warnings.warn(message, RuntimeWarning, stacklevel=stacklevel)
+    return True
 
 
 def _clamp_jobs_for_shards(jobs: int, specs: Sequence[TrialSpec]) -> int:
@@ -296,15 +354,12 @@ def _clamp_jobs_for_shards(jobs: int, specs: Sequence[TrialSpec]) -> int:
     if jobs * max_shards <= cores:
         return jobs
     capped = max(1, cores // max_shards)
-    if capped < jobs and not _SHARD_CLAMP_WARNED:
-        _SHARD_CLAMP_WARNED.append(True)
-        import warnings
-
-        warnings.warn(
+    if capped < jobs:
+        _warn_once(
+            "shard-clamp",
             f"jobs={jobs} x shards={max_shards} oversubscribes "
             f"{cores} cores; capping jobs at {capped}",
-            RuntimeWarning,
-            stacklevel=3,
+            stacklevel=4,
         )
     return min(jobs, capped)
 
@@ -362,13 +417,10 @@ def run_trials(
         return [merged[i] for i in range(len(specs))]
     except (OSError, PicklingError, ImportError, PermissionError) as exc:
         # The pool itself is unavailable; the sweep still has to finish.
-        import warnings
-
-        warnings.warn(
+        _warn_once(
+            f"pool-fallback:{type(exc).__name__}",
             f"process pool unavailable ({type(exc).__name__}: {exc}); "
             "falling back to in-process execution",
-            RuntimeWarning,
-            stacklevel=2,
         )
         for i in pending:
             if i not in merged:
@@ -421,6 +473,9 @@ def _trial_record(o: TrialOutcome) -> Dict[str, Any]:
         "window_barriers": o.window_barriers,
         "cached": o.cached,
     }
+    if o.tenants_simulated:
+        row["tenants_simulated"] = o.tenants_simulated
+        row["max_class_multiplicity"] = o.max_class_multiplicity
     if o.trace_summary is not None:
         row["trace_summary"] = o.trace_summary
     if o.fault_summary is not None:

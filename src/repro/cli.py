@@ -9,6 +9,9 @@ Runs the paper's experiments from a shell without writing any code:
   timeline, and Chrome trace-event JSON for ``chrome://tracing``,
 * ``metrics``                      — inspect a saved metrics export:
   series table with sparklines, SLO verdict, optional HTML dashboard,
+* ``traffic``                      — one open-loop multi-tenant trial:
+  a workload JSON (or the built-in diurnal mix) driven over shared
+  servers with tenant-class collapsing, per-class latency rows printed,
 * ``petaflop``                     — the §4 closing extrapolation,
 * ``examples``                     — list the runnable example scripts.
 
@@ -153,6 +156,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write Chrome trace-event JSON here (chrome://tracing)")
     trace.add_argument("--timeline-lines", type=int, default=40,
                        help="max lines of the text timeline to print (0 = skip)")
+
+    traffic = sub.add_parser(
+        "traffic", help="one open-loop multi-tenant traffic trial"
+    )
+    traffic.add_argument("--workload", default=None, metavar="SPEC.json",
+                         help="workload spec JSON (see repro.workload; default: "
+                              "the built-in diurnal mix scaled by --tenants)")
+    traffic.add_argument("--tenants", type=int, default=100_000,
+                         help="total tenant population for the built-in mix "
+                              "(ignored with --workload)")
+    traffic.add_argument("--rate", type=float, default=1500.0,
+                         help="aggregate offered rate in ops/s for the "
+                              "built-in mix (ignored with --workload)")
+    traffic.add_argument("--horizon", type=float, default=600.0,
+                         help="simulated seconds for the built-in mix "
+                              "(ignored with --workload)")
+    traffic.add_argument("--servers", type=int, default=8)
+    traffic.add_argument("--seed", type=int, default=1)
+    traffic.add_argument("--no-collapse", dest="collapse", action="store_false",
+                         help="one session per tenant (the reference path; "
+                              "also REPRO_TENANT_COLLAPSE=0)")
+    traffic.add_argument("--faults", default=None, metavar="PLAN.json",
+                         help="inject the faults scheduled in this JSON plan "
+                              "and print the fault/recovery summary")
 
     metrics = sub.add_parser(
         "metrics", help="inspect a saved metrics export (series, SLO verdict)"
@@ -360,6 +387,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.timeline_lines > 0:
             print()
             print(format_timeline(result.trace, max_lines=args.timeline_lines))
+
+    elif args.command == "traffic":
+        from .sim.config import RunOptions
+        from .workload import diurnal_mixed, run_workload_trial
+
+        if args.workload is not None:
+            workload = args.workload  # JSON path; the engine loads it
+        else:
+            workload = diurnal_mixed(
+                tenants=args.tenants, rate=args.rate, horizon=args.horizon,
+            )
+        options = RunOptions(
+            tenant_collapse=None if args.collapse else False,
+            faults=args.faults,
+        )
+        result = run_workload_trial(
+            workload=workload, n_servers=args.servers, seed=args.seed,
+            options=options,
+        )
+        e = result.extra
+        print(
+            f"{result.n_clients:,d} tenants over {args.servers} servers -> "
+            f"{e['ops_per_s']:.1f} ops/s, {result.throughput_mb_s:.1f} MiB/s "
+            f"goodput [{e['sessions_simulated']:.0f} sessions, "
+            f"max class multiplicity {e['max_class_multiplicity']:,.0f}]"
+        )
+        classes = sorted({k.split(".")[1] for k in e if k.startswith("wl.")})
+        print(f"  {'class':<20s} {'ops':>10s} {'goodput':>12s} "
+              f"{'p50':>10s} {'p99':>10s}")
+        for name in classes:
+            print(
+                f"  {name:<20s} {e[f'wl.{name}.ops']:>10,.0f} "
+                f"{e[f'wl.{name}.goodput_mb_s']:>8.1f} MB/s "
+                f"{e[f'wl.{name}.latency_p50'] * 1e3:>7.2f} ms "
+                f"{e[f'wl.{name}.latency_p99'] * 1e3:>7.2f} ms"
+            )
+        if result.fault_log is not None:
+            _print_fault_summary(result)
 
     elif args.command == "metrics":
         import json

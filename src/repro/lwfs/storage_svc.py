@@ -54,35 +54,48 @@ class VerifyCache:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._entries: Dict[int, VerifiedCap] = {}
+        #: Per-entry tenant multiplicity: a collapsed representative's
+        #: capability stands for its whole tenant block, so evicting it
+        #: counts as that many real invalidations (revocation blast
+        #: radius).  Entries inserted without a weight count as 1.
+        self._entry_weights: Dict[int, int] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
 
-    def lookup(self, cap: Capability, now: Optional[float] = None) -> Optional[VerifiedCap]:
+    def lookup(
+        self, cap: Capability, now: Optional[float] = None, weight: int = 1
+    ) -> Optional[VerifiedCap]:
+        """``weight`` > 1: this lookup stands for *weight* client requests
+        (a batched open-loop arrival group) — hit/miss counters scale so
+        the hit *rate* reflects the represented request stream."""
         if not self.enabled:
-            self.misses += 1
+            self.misses += weight
             return None
         entry = self._entries.get(cap.serial)
         if entry is None:
-            self.misses += 1
+            self.misses += weight
             return None
         if now is not None and now > entry.expires_at:
             # The cached verify result must not outlive the capability.
             del self._entries[cap.serial]
-            self.misses += 1
+            self._entry_weights.pop(cap.serial, None)
+            self.misses += weight
             return None
-        self.hits += 1
+        self.hits += weight
         return entry
 
-    def insert(self, verified: VerifiedCap) -> None:
+    def insert(self, verified: VerifiedCap, weight: int = 1) -> None:
         if self.enabled:
             self._entries[verified.serial] = verified
+            if weight != 1:
+                self._entry_weights[verified.serial] = weight
 
     def invalidate(self, serials: List[int]) -> int:
         removed = 0
         for serial in serials:
             if self._entries.pop(serial, None) is not None:
-                removed += 1
+                removed += self._entry_weights.pop(serial, 1)
         self.invalidations += removed
         return removed
 

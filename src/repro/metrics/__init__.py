@@ -30,6 +30,7 @@ from .export import (
     metrics_summary,
     series_times,
     sparkline,
+    tenant_class_rows,
     validate_metrics_doc,
     write_csv,
     write_json,
@@ -64,6 +65,7 @@ __all__ = [
     "metrics_summary",
     "series_times",
     "sparkline",
+    "tenant_class_rows",
     "tenant_group",
     "validate_metrics_doc",
     "write_csv",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import csv
 import math
+import re
 from typing import Dict, List, Optional
 
 from .registry import MetricsRegistry
@@ -24,6 +25,7 @@ __all__ = [
     "format_metrics",
     "metrics_summary",
     "sparkline",
+    "tenant_class_rows",
     "validate_metrics_doc",
     "write_csv",
     "write_json",
@@ -44,20 +46,32 @@ def build_doc(
     instruments = []
     for name, inst in registry.instruments.items():
         items = inst.series.items()
-        instruments.append(
-            {
-                "name": name,
-                "kind": inst.kind,
-                "unit": inst.unit,
-                "scope": inst.scope,
-                "series": {
-                    "indices": [i for i, _ in items],
-                    "values": [v for _, v in items],
-                    "dropped": inst.series.dropped,
-                },
-                "final": sampler.final_values.get(name, inst.series.last_value()),
+        entry = {
+            "name": name,
+            "kind": inst.kind,
+            "unit": inst.unit,
+            "scope": inst.scope,
+            "series": {
+                "indices": [i for i, _ in items],
+                "values": [v for _, v in items],
+                "dropped": inst.series.dropped,
+            },
+            "final": sampler.final_values.get(name, inst.series.last_value()),
+        }
+        if inst.kind == "histogram":
+            # Distribution summary of the backing Tally: the series only
+            # carries the cumulative count, so percentiles must be
+            # computed here, while the samples are still in memory.
+            tally = inst.tally
+            p50, p99 = tally.percentiles((0.50, 0.99))
+            entry["tally"] = {
+                "count": tally.count,
+                "total": tally.total,
+                "mean": tally.mean,
+                "p50": p50,
+                "p99": p99,
             }
-        )
+        instruments.append(entry)
     doc = {
         "schema": METRICS_SCHEMA,
         "t0": sampler.t0,
@@ -137,12 +151,57 @@ def series_times(doc: dict, inst: dict) -> List[float]:
     return [t0 + i * period for i in inst["series"]["indices"]]
 
 
+_GROUP_SUFFIX = re.compile(r"\.g\d+$")
+
+
+def tenant_class_rows(doc: dict) -> Dict[str, Dict[str, float]]:
+    """Per-tenant-class latency/goodput rows from the ``tenant.*`` buckets.
+
+    Walks the existing tenant instruments — ``tenant.<class>.g<k>.bytes``
+    group counters (the ``tenant_group`` buckets checkpoint traffic
+    already feeds, optionally prefixed by a workload class) and
+    ``tenant.<class>.latency`` histograms — and folds them into one row
+    per class: operation count, p50/p99/mean latency, bytes moved, and
+    goodput over the sampled span.  No parallel accounting path: if an
+    instrument was never created, its row fields are simply absent.
+    """
+    span = max(float(doc["t_end"]) - float(doc["t0"]), 0.0)
+    rows: Dict[str, Dict[str, float]] = {}
+    for inst in doc["instruments"]:
+        name = inst["name"]
+        if not name.startswith("tenant."):
+            continue
+        base, _, field = name.rpartition(".")
+        label = base[len("tenant."):]
+        if not label:
+            continue
+        cls = _GROUP_SUFFIX.sub("", label) or label
+        if field == "bytes":
+            final = inst.get("final")
+            if isinstance(final, (int, float)) and not math.isnan(final):
+                row = rows.setdefault(cls, {})
+                row["bytes"] = row.get("bytes", 0.0) + float(final)
+        elif field == "latency":
+            tally = inst.get("tally")
+            if isinstance(tally, dict):
+                row = rows.setdefault(cls, {})
+                row["ops"] = row.get("ops", 0) + int(tally.get("count", 0))
+                row["latency_p50"] = tally.get("p50")
+                row["latency_p99"] = tally.get("p99")
+                row["latency_mean"] = tally.get("mean")
+    if span > 0:
+        for row in rows.values():
+            if "bytes" in row:
+                row["goodput_mb_s"] = row["bytes"] / span / (1024.0 * 1024.0)
+    return rows
+
+
 def metrics_summary(doc: dict) -> Dict[str, object]:
     """The compact slice for BENCH_sweep.json rows and TrialOutcome.
 
-    Totals for model-scope counters plus the sampler's footprint and the
-    SLO verdict — small enough to embed per trial without dragging the
-    full series along.
+    Totals for model-scope counters plus the sampler's footprint, the
+    per-tenant-class rows, and the SLO verdict — small enough to embed
+    per trial without dragging the full series along.
     """
     totals: Dict[str, float] = {}
     for inst in doc["instruments"]:
@@ -157,6 +216,9 @@ def metrics_summary(doc: dict) -> Dict[str, object]:
         "period": doc["period"],
         "totals": totals,
     }
+    tenants = tenant_class_rows(doc)
+    if tenants:
+        out["tenant_classes"] = tenants
     health = doc.get("health")
     if isinstance(health, dict):
         out["slo_verdict"] = health.get("verdict")

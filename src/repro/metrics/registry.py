@@ -214,8 +214,8 @@ class Histogram(_Instrument):
         super().__init__(name, unit, scope)
         self.tally = Tally(name, keep_samples=True)
 
-    def observe(self, value: float) -> None:
-        self.tally.observe(value)
+    def observe(self, value: float, weight: int = 1) -> None:
+        self.tally.observe(value, weight)
 
     def sample(self) -> float:
         return float(self.tally.count)
@@ -301,9 +301,14 @@ class MetricsRegistry:
             inst = self.counter(name)
         inst.add(value, weight)
 
-    def observe(self, name: str, value: float) -> None:
-        """Feed a histogram observation by name (created on first use)."""
+    def observe(self, name: str, value: float, weight: int = 1) -> None:
+        """Feed a histogram observation by name (created on first use).
+
+        ``weight`` stands for that many identical observations — collapsed
+        tenant representatives observe once per class with the class
+        multiplicity, keeping per-tenant percentiles honest.
+        """
         inst = self.instruments.get(name)
         if inst is None:
             inst = self.histogram(name)
-        inst.observe(value)
+        inst.observe(value, weight)

@@ -83,13 +83,19 @@ class SimLWFSClient:
         attrs=None,
         txnid: Optional[TxnID] = None,
         weight: int = 1,
+        defer: bool = False,
+        cap_weight: Optional[int] = None,
     ):
         """``weight`` > 1 (symmetric-client collapsing) makes this create
         stand in for a whole equivalence class: the server charges CPU and
-        journal ops for *weight* creates but materializes one object."""
+        journal ops for *weight* creates but materializes one object.
+        ``defer``/``cap_weight`` are the open-loop tenant-collapsing
+        variant (independent arrivals, weighted capability): see
+        :meth:`SimStorageServer._authorize` and the ``create`` handler."""
         node_id, svc = self._storage(server_id)
         oid = yield from self._call(
-            node_id, svc, "create", cap=cap, attrs=attrs, txnid=txnid, weight=weight
+            node_id, svc, "create", cap=cap, attrs=attrs, txnid=txnid,
+            weight=weight, defer=defer, cap_weight=cap_weight,
         )
         return oid
 
@@ -97,9 +103,21 @@ class SimLWFSClient:
         node_id, svc = self._storage(oid.server_hint)
         return (yield from self._call(node_id, svc, "remove", cap=cap, oid=oid, txnid=txnid))
 
-    def get_attrs(self, cap: Capability, oid: ObjectID):
+    def get_attrs(
+        self,
+        cap: Capability,
+        oid: ObjectID,
+        weight: int = 1,
+        defer: bool = False,
+        cap_weight: Optional[int] = None,
+    ):
         node_id, svc = self._storage(oid.server_hint)
-        return (yield from self._call(node_id, svc, "getattr", cap=cap, oid=oid))
+        return (
+            yield from self._call(
+                node_id, svc, "getattr", cap=cap, oid=oid,
+                weight=weight, defer=defer, cap_weight=cap_weight,
+            )
+        )
 
     def list_objects(self, cap: Capability, server_id: int, cid: Optional[ContainerID] = None):
         node_id, svc = self._storage(server_id)
@@ -129,13 +147,18 @@ class SimLWFSClient:
         offset: int = 0,
         txnid: Optional[TxnID] = None,
         weight: int = 1,
+        defer: bool = False,
+        cap_weight: Optional[int] = None,
     ):
         """Chunked, pipelined write of *data* to *oid* at *offset*.
 
         ``weight`` > 1 (symmetric-client collapsing): each chunk request
         stands for *weight* clients' identical chunks — the server charges
         the wire, disk, and CPU for all of them while this client posts
-        one buffer.
+        one buffer.  ``defer``/``cap_weight`` (open-loop tenant
+        collapsing): reply after one arrival's service with the rest of
+        the batch in the background; ``cap_weight`` is how many distinct
+        tenants' capabilities the presented cap stands for.
         """
         total = piece_len(data)
         chunk = self.config.chunk_bytes
@@ -148,7 +171,9 @@ class SimLWFSClient:
             # verify, portals pull, per-chunk disk write), steady-state
             # remainder as one fluid stream.  Syncs/commits stay exact.
             return (
-                yield from self._write_flow(cap, oid, data, offset, txnid, weight, total, chunk)
+                yield from self._write_flow(
+                    cap, oid, data, offset, txnid, weight, total, chunk, cap_weight
+                )
             )
         # A representative keeps the whole class's chunks in flight: the
         # class collectively had weight * depth outstanding requests.
@@ -161,7 +186,10 @@ class SimLWFSClient:
             req = window.request()
             yield req
             proc = self.env.process(
-                self._write_chunk(cap, oid, offset + pos, piece, txnid, window, req, weight),
+                self._write_chunk(
+                    cap, oid, offset + pos, piece, txnid, window, req, weight, defer,
+                    cap_weight,
+                ),
                 name=f"wchunk:{oid.value}:{pos}",
             )
             inflight.append(proc)
@@ -176,7 +204,7 @@ class SimLWFSClient:
         self.bytes_written += total
         return total
 
-    def _write_flow(self, cap, oid, data, offset, txnid, weight, total, chunk):
+    def _write_flow(self, cap, oid, data, offset, txnid, weight, total, chunk, cap_weight=None):
         """Write via the flow engine: exact first chunk + one bulk stream.
 
         The first chunk pays the full chunked path (so the verify-cache
@@ -186,7 +214,9 @@ class SimLWFSClient:
         fluid flow at the server.
         """
         first = piece_slice(data, 0, chunk)
-        yield from self._write_chunk_inner(cap, oid, offset, first, txnid, weight)
+        yield from self._write_chunk_inner(
+            cap, oid, offset, first, txnid, weight, cap_weight=cap_weight
+        )
 
         rest = piece_slice(data, chunk, total)
         length = total - chunk
@@ -200,23 +230,27 @@ class SimLWFSClient:
                 node_id, svc, "write_stream",
                 cap=cap, oid=oid, offset=offset + chunk, length=length,
                 n_chunks=n_chunks, data_node=self.node.node_id,
-                data_bits=bits, txnid=txnid, weight=weight,
+                data_bits=bits, txnid=txnid, weight=weight, cap_weight=cap_weight,
             )
         finally:
             self.portals.detach(DATA_PORTAL, me)
         self.bytes_written += total
         return total
 
-    def _write_chunk(self, cap, oid, offset, piece, txnid, window, window_req, weight=1):
+    def _write_chunk(self, cap, oid, offset, piece, txnid, window, window_req, weight=1,
+                     defer=False, cap_weight=None):
         try:
-            result = yield from self._write_chunk_inner(cap, oid, offset, piece, txnid, weight)
+            result = yield from self._write_chunk_inner(
+                cap, oid, offset, piece, txnid, weight, defer, cap_weight
+            )
             return result
         except BaseException as exc:  # noqa: BLE001 - reported to parent
             return exc
         finally:
             window.release(window_req)
 
-    def _write_chunk_inner(self, cap, oid, offset, piece, txnid, weight=1):
+    def _write_chunk_inner(self, cap, oid, offset, piece, txnid, weight=1, defer=False,
+                           cap_weight=None):
         node_id, svc = self._storage(oid.server_hint)
         length = piece_len(piece)
         if self.deployment.server_directed:
@@ -228,7 +262,7 @@ class SimLWFSClient:
                     node_id, svc, "write",
                     cap=cap, oid=oid, offset=offset, length=length,
                     data_node=self.node.node_id, data_bits=bits, txnid=txnid,
-                    weight=weight,
+                    weight=weight, defer=defer, cap_weight=cap_weight,
                 )
             finally:
                 self.portals.detach(DATA_PORTAL, me)
@@ -250,12 +284,15 @@ class SimLWFSClient:
             yield self.env.timeout(self.cluster.rng.uniform("backoff", backoff / 2, backoff))
             backoff = min(backoff * 2, 0.1)
 
-    def read(self, cap: Capability, oid: ObjectID, offset: int, length: int, weight: int = 1):
+    def read(self, cap: Capability, oid: ObjectID, offset: int, length: int, weight: int = 1,
+             defer: bool = False, cap_weight: Optional[int] = None):
         """Chunked, pipelined read; the server pushes into posted buffers.
 
         ``weight`` > 1 (symmetric-client collapsing): each chunk request
         stands for *weight* clients' identical reads — the server charges
         seeks, disk bytes, and the wire for all of them.
+        ``defer``/``cap_weight`` are the open-loop tenant-collapsing
+        variant (see the server's ``read`` handler).
         """
         chunk = self.config.chunk_bytes
         window = Resource(self.env, capacity=weight * self.config.pipeline_depth)
@@ -266,7 +303,9 @@ class SimLWFSClient:
             req = window.request()
             yield req
             proc = self.env.process(
-                self._read_chunk(cap, oid, offset + pos, n, window, req, weight),
+                self._read_chunk(
+                    cap, oid, offset + pos, n, window, req, weight, defer, cap_weight
+                ),
                 name=f"rchunk:{oid.value}:{pos}",
             )
             inflight.append(proc)
@@ -283,7 +322,8 @@ class SimLWFSClient:
 
         return concat_pieces(pieces)
 
-    def _read_chunk(self, cap, oid, offset, n, window, window_req, weight=1):
+    def _read_chunk(self, cap, oid, offset, n, window, window_req, weight=1,
+                    defer=False, cap_weight=None):
         try:
             bits = next_data_bits()
             recv_q = self.portals.new_eq()
@@ -295,7 +335,7 @@ class SimLWFSClient:
                     node_id, svc, "read",
                     cap=cap, oid=oid, offset=offset, length=n,
                     data_node=self.node.node_id, data_bits=bits,
-                    weight=weight,
+                    weight=weight, defer=defer, cap_weight=cap_weight,
                 )
             finally:
                 self.portals.detach(DATA_PORTAL, me)

@@ -26,13 +26,15 @@ small tolerance (jitter draws collapse m per-op draws into one).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
-__all__ = ["collapse_plan", "plan_stats"]
+__all__ = ["collapse_plan", "plan_stats", "tenant_class_plan", "class_block_width"]
 
 
 def collapse_plan(
-    n_ranks: int, key_fn: Callable[[int], Hashable]
+    n_ranks: int,
+    key_fn: Callable[[int], Hashable],
+    tenant_fn: Optional[Callable[[int], Hashable]] = None,
 ) -> List[Tuple[int, int]]:
     """Group ranks into equivalence classes by ``key_fn(rank)``.
 
@@ -40,14 +42,57 @@ def collapse_plan(
     representative (the lowest rank of each class), suitable for
     :class:`repro.parallel.app.ParallelApp`'s ``collapse`` argument.
     Rank 0 is forced into its own class regardless of its key.
+
+    ``tenant_fn`` names the tenant (or job) a rank belongs to.  Ranks
+    whose placement keys match but whose tenants differ must never share
+    a representative: they hold distinct credentials and capabilities,
+    so folding them together would merge verify-cache entries and
+    revocation blast radii that are disjoint in the real system.  When
+    omitted, all ranks belong to one implicit job and the plan is
+    identical to the historical single-job keying.
     """
     if n_ranks <= 0:
         raise ValueError("n_ranks must be positive")
     groups: Dict[Hashable, List[int]] = {}
     for rank in range(n_ranks):
-        key = ("__root__",) if rank == 0 else ("k", key_fn(rank))
+        if rank == 0:
+            key: Hashable = ("__root__",)
+        elif tenant_fn is None:
+            key = ("k", key_fn(rank))
+        else:
+            key = ("k", tenant_fn(rank), key_fn(rank))
         groups.setdefault(key, []).append(rank)
     return sorted((ranks[0], len(ranks)) for ranks in groups.values())
+
+
+def class_block_width(n_tenants: int, representatives: int) -> int:
+    """Width of the contiguous tenant blocks one representative covers."""
+    if n_tenants <= 0:
+        raise ValueError("n_tenants must be positive")
+    if representatives <= 0:
+        raise ValueError("representatives must be positive")
+    reps = min(representatives, n_tenants)
+    return -(-n_tenants // reps)
+
+
+def tenant_class_plan(n_tenants: int, representatives: int) -> List[Tuple[int, int]]:
+    """Collapse one tenant class of ``n_tenants`` onto ``representatives``.
+
+    Returns ``[(first_tenant_of_block, multiplicity), ...]``: contiguous
+    blocks of tenants, each simulated by its lowest member carrying the
+    block size as a multiplicity weight.  Contiguity matters — the
+    open-loop engine maps an arrival for tenant ``t`` to its block with
+    ``t // class_block_width(...)`` and never materializes the tenant
+    list.  With ``representatives >= n_tenants`` every block has size 1
+    and the plan degenerates to the exact, uncollapsed population.
+    """
+    width = class_block_width(n_tenants, representatives)
+    plan: List[Tuple[int, int]] = []
+    start = 0
+    while start < n_tenants:
+        plan.append((start, min(width, n_tenants - start)))
+        start += width
+    return plan
 
 
 def plan_stats(plan: List[Tuple[int, int]]) -> Dict[str, int]:

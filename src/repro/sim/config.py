@@ -181,9 +181,11 @@ class RunOptions:
     cache          ``REPRO_BENCH_CACHE``    True
     fastforward    ``REPRO_FASTFORWARD``    True
     metrics        ``REPRO_METRICS``        False
+    tenant_collapse ``REPRO_TENANT_COLLAPSE`` True
     metrics_period ``REPRO_METRICS_PERIOD`` None (auto)
     shards         ``REPRO_SHARD`` (int)    1
     faults         ``REPRO_FAULTS`` (path)  None
+    workload       ``REPRO_WORKLOAD`` (path) None
     ============== ======================== =======
 
     ``shards`` follows the kill-switch convention of the boolean
@@ -205,6 +207,12 @@ class RunOptions:
     #: standard instrument pack and a simulated-time sampler, attach the
     #: exported document to the trial result.
     metrics: Optional[bool] = None
+    #: Tenant-class collapsing in the open-loop workload engine
+    #: (:mod:`repro.workload`): simulate one representative per tenant
+    #: block with a multiplicity weight.  ``REPRO_TENANT_COLLAPSE=0`` is
+    #: the kill switch that pins the uncollapsed reference population
+    #: (bit-identical when every multiplicity is already 1).
+    tenant_collapse: Optional[bool] = None
     #: Explicit sampling period in simulated seconds; ``None`` derives a
     #: deterministic period from the analytic horizon
     #: (:func:`repro.metrics.sampler.default_period`).  Stays ``None``
@@ -215,6 +223,12 @@ class RunOptions:
     shards: Optional[int] = None
     #: A :class:`repro.faults.FaultPlan` (or ``None`` for a clean run).
     faults: Optional[object] = None
+    #: A :class:`repro.workload.WorkloadSpec` (or a JSON path, or ``None``
+    #: when the trial is not an open-loop traffic run).  Follows the
+    #: ``faults`` pattern: a string resolves through
+    #: :func:`repro.workload.load_workload` and :meth:`describe` folds the
+    #: spec's content signature into the trial-cache key.
+    workload: Optional[object] = None
 
     _ENV = {
         "collapse": "REPRO_COLLAPSE",
@@ -225,6 +239,7 @@ class RunOptions:
         "cache": "REPRO_BENCH_CACHE",
         "fastforward": "REPRO_FASTFORWARD",
         "metrics": "REPRO_METRICS",
+        "tenant_collapse": "REPRO_TENANT_COLLAPSE",
     }
     _DEFAULTS = {
         "collapse": False,
@@ -235,6 +250,7 @@ class RunOptions:
         "cache": True,
         "fastforward": True,
         "metrics": False,
+        "tenant_collapse": True,
     }
 
     def resolved(self) -> "RunOptions":
@@ -276,8 +292,23 @@ class RunOptions:
             from ..faults.plan import load_plan
 
             faults = load_plan(faults)
+        workload = self.workload
+        if workload is None:
+            wl_path = env_str("REPRO_WORKLOAD").strip()
+            if wl_path:
+                from ..workload.spec import load_workload
+
+                workload = load_workload(wl_path)
+        elif isinstance(workload, str):
+            from ..workload.spec import load_workload
+
+            workload = load_workload(workload)
         return RunOptions(
-            faults=faults, shards=shards, metrics_period=period, **values
+            faults=faults,
+            workload=workload,
+            shards=shards,
+            metrics_period=period,
+            **values,
         )
 
     def describe(self) -> dict:
@@ -293,4 +324,7 @@ class RunOptions:
         doc["shards"] = opts.shards
         doc["metrics_period"] = opts.metrics_period
         doc["faults"] = opts.faults.signature() if opts.faults is not None else ""
+        doc["workload"] = (
+            opts.workload.signature() if opts.workload is not None else ""
+        )
         return doc

@@ -40,6 +40,12 @@ __all__ = [
 #: Portal index where clients expose bulk-data match entries.
 DATA_PORTAL = 2
 
+#: Ceiling on how many device transfers a deferred batch residual is
+#: split into: enough FIFO granularity that foreground ops interleave
+#: the way the uncollapsed population would, few enough that event
+#: count per batch stays O(1).
+_RESIDUAL_CHUNKS = 8
+
 _data_bits = itertools.count(0x1000)
 
 
@@ -151,8 +157,18 @@ class SimAuthzServer(_SimServerBase):
             yield from self.cpu("get_cap_set", costs.get_caps * len(op_list))
             return self.svc.get_cap_set(cred, cid, op_list)
 
-        def verify(ctx, cap, server_id):
+        def verify(ctx, cap, server_id, weight=1):
+            # ``weight`` > 1: this verify stands for a collapsed tenant
+            # block's worth of distinct capabilities.  The reply carries
+            # the first tenant's answer after one verification; the
+            # remaining block's CPU burns in the background, so a
+            # revocation storm's re-verify blast radius loads this server
+            # without serializing into every representative's latency.
             yield from self.cpu("verify", costs.verify_cap)
+            if weight > 1:
+                self.env.process(
+                    self._verify_residual(weight - 1), name="verify-residual"
+                )
             return self.svc.verify(cap, server_id)
 
         def set_acl(ctx, cred, cid, acl):
@@ -173,6 +189,10 @@ class SimAuthzServer(_SimServerBase):
         reg("verify", verify)
         reg("set_acl", set_acl)
         reg("revoke", revoke)
+
+    def _verify_residual(self, weight: int):
+        """Background CPU for the rest of a weighted verify batch."""
+        yield from self.cpu("verify", weight * self.config.lwfs.verify_cap)
 
     # -- storage-server registration --------------------------------------------
     def connect_storage(self, server_id: int, node_id: int) -> None:
@@ -285,7 +305,7 @@ class SimStorageServer(_SimServerBase):
         self.rpc.start()
 
     # -- enforcement -----------------------------------------------------------
-    def _authorize(self, cap, needed: OpMask, cid=None):
+    def _authorize(self, cap, needed: OpMask, cid=None, weight=1, cap_weight=None):
         """Cache check; on a miss, a verify RPC to the authorization server
         (Fig. 4b), then local enforcement.  A generator.
 
@@ -293,7 +313,23 @@ class SimStorageServer(_SimServerBase):
         the same not-yet-cached capability (every rank's first chunk), only
         one verify RPC goes to the wire and the rest wait on its result —
         keeping verify traffic at one message per (capability, server).
+
+        Weighted tenants (open-loop collapsing): ``weight`` is how many
+        client operations this request batches (scales hit/miss counters),
+        ``cap_weight`` how many real tenants' capabilities the presented
+        cap stands for — a miss then verifies the whole block (weighted
+        verify RPC, weighted cache entry), so revocation invalidations
+        and re-verify storms keep their full blast radius.  Both default
+        to the historical single-op, single-cap behavior.
         """
+        if cap_weight is None:
+            # Closed-loop collapsing (one job, one real shared cap): a
+            # weight-n op still presents exactly one capability and one
+            # logical lookup, so the historical unweighted accounting is
+            # the truthful one.  Open-loop callers pass cap_weight (their
+            # cap genuinely stands for cap_weight distinct tenants).
+            weight = 1
+            cap_weight = 1
         tracer = self.env.tracer
         span = prev = None
         if tracer is not None:
@@ -311,7 +347,7 @@ class SimStorageServer(_SimServerBase):
             while (
                 cap is not None
                 and self.svc.shared_secret is None
-                and self.svc.cache.lookup(cap, self.env.now) is None
+                and self.svc.cache.lookup(cap, self.env.now, weight) is None
             ):
                 pending = self._verify_inflight.get(cap.serial)
                 if pending is not None:
@@ -322,11 +358,12 @@ class SimStorageServer(_SimServerBase):
                 event = self.env.event()
                 self._verify_inflight[cap.serial] = event
                 try:
-                    self.verify_rpcs += 1
+                    self.verify_rpcs += cap_weight
                     verified = yield from self._client.call(
-                        self.authz.node_id, "authz", "verify", cap=cap, server_id=self.server_id
+                        self.authz.node_id, "authz", "verify",
+                        cap=cap, server_id=self.server_id, weight=cap_weight,
                     )
-                    self.svc.cache.insert(verified)
+                    self.svc.cache.insert(verified, cap_weight)
                     # With caching disabled we re-verify on every request; this
                     # only carries the fresh wire result into enforcement.
                     self.svc._preauthorized.add(cap.serial)
@@ -342,18 +379,92 @@ class SimStorageServer(_SimServerBase):
     def _cid_of(self, oid) -> ContainerID:
         return self.svc.store.container_of(oid)
 
+    # -- deferred open-loop batch residuals -------------------------------------
+    # A weight-n open-loop op replies after one arrival's service; these
+    # background processes burn the other n-1 arrivals' resources so
+    # utilization stays exact while representative latency matches the
+    # uncollapsed population's (whose concurrent weight-1 ops ride
+    # separate cores / queue slots).
+
+    def _create_residual(self, weight: int):
+        costs = self.config.lwfs
+        yield from self.cpu("create", weight * costs.create_obj_cpu)
+        yield from self.device.meta_op(ops=weight)
+
+    def _getattr_residual(self, weight: int):
+        yield from self.cpu("getattr", weight * self.config.lwfs.getattr_cpu)
+
+    def _data_residual(self, kind: str, weight: int, length: int):
+        """Drain a deferred batch's n-1 data transfers.
+
+        The uncollapsed population's n-1 ops occupy service threads
+        concurrently and interleave with foreground requests in the
+        device FIFO, so the residual is split into up to
+        ``_RESIDUAL_CHUNKS`` *concurrent* thread+device requests — one
+        monolithic sequential hold would drain bursts slower than the
+        real population and inflate foreground tails.
+        """
+        costs = self.config.lwfs
+        cpu_stream = "read_req" if kind == "read" else "write_req"
+        yield from self.cpu(cpu_stream, weight * costs.request_cpu)
+        chunks = min(weight, _RESIDUAL_CHUNKS)
+        per, extra = divmod(weight, chunks)
+        done = []
+        for i in range(chunks):
+            w = per + (1 if i < extra else 0)
+            done.append(self.env.process(
+                self._residual_chunk(kind, w, length),
+                name=f"{kind}-residual-chunk",
+            ))
+        yield self.env.all_of(done)
+
+    def _residual_chunk(self, kind: str, weight: int, length: int):
+        tracer = self.env.tracer
+        t_wait = self.env._now if tracer is not None else 0.0
+        with self.threads.request() as thread:
+            yield thread
+            if tracer is not None and self.env._now > t_wait:
+                tracer.record(
+                    "wait:threads", start=t_wait, kind="wait",
+                    node=self.node_id, service=self.service_name,
+                    resource="threads",
+                )
+            if kind == "read":
+                yield from self.device.read(weight * length, ops=weight)
+            else:
+                yield from self.device.write(weight * length)
+
+    def _read_residual(self, weight: int, length: int):
+        yield from self._data_residual("read", weight, length)
+
+    def _write_residual(self, weight: int, length: int):
+        yield from self._data_residual("write", weight, length)
+
     # -- op handlers ---------------------------------------------------------------
     def _register_ops(self) -> None:
         costs = self.config.lwfs
         reg = self.rpc.register
 
-        def create(ctx, cap, attrs=None, txnid=None, weight=1):
+        def create(ctx, cap, attrs=None, txnid=None, weight=1, defer=False, cap_weight=None):
             # ``weight`` > 1: this create stands for a whole collapsed
             # equivalence class — charge CPU and journal ops for all of
             # them, materialize one object (the representative's).
-            yield from self._authorize(cap, OpMask.CREATE)
-            yield from self.cpu("create", weight * costs.create_obj_cpu)
-            yield from self.device.meta_op(ops=weight)
+            # ``defer`` (open-loop batches): the batch's arrivals are
+            # *independent* tenants, not a barrier-synchronized job, so
+            # the reply returns after one create's service — matching the
+            # uncollapsed population, whose concurrent weight-1 creates
+            # ride separate CPU cores — while the rest of the batch burns
+            # through in the background.
+            yield from self._authorize(cap, OpMask.CREATE, weight=weight, cap_weight=cap_weight)
+            if defer and weight > 1:
+                yield from self.cpu("create", costs.create_obj_cpu)
+                yield from self.device.meta_op(ops=1)
+                self.env.process(
+                    self._create_residual(weight - 1), name="create-residual"
+                )
+            else:
+                yield from self.cpu("create", weight * costs.create_obj_cpu)
+                yield from self.device.meta_op(ops=weight)
             return self.svc.create_object(cap, attrs=attrs, txnid=txnid)
 
         def remove(ctx, cap, oid, txnid=None):
@@ -364,7 +475,7 @@ class SimStorageServer(_SimServerBase):
             return True
 
         def write(ctx, cap, oid, offset, length, data_node=None, data_bits=None, data=None,
-                  txnid=None, weight=1):
+                  txnid=None, weight=1, defer=False, cap_weight=None):
             """One bulk write.  Server-directed: ``data`` is None and the
             server pulls from the client's (data_node, data_bits) match
             entry when resources allow.  Client-push ablation: ``data``
@@ -374,8 +485,21 @@ class SimStorageServer(_SimServerBase):
             clients' identical chunks — the pull serializes weight*length
             on the wire and the disk streams weight*length bytes, but the
             buffer reservation stays per-chunk (real clients' pulls
-            recycle the same pinned buffer back to back)."""
-            yield from self._authorize(cap, OpMask.WRITE, self._cid_of(oid))
+            recycle the same pinned buffer back to back).
+
+            ``defer`` (open-loop batches): serve one arrival's write in
+            full and reply; the remaining batch's CPU and disk charge in
+            the background.  The residual pulls skip the wire — the real
+            pulls would come from *weight - 1* different client NICs,
+            none of which bottlenecks this server's small-write stream."""
+            yield from self._authorize(
+                cap, OpMask.WRITE, self._cid_of(oid), weight=weight, cap_weight=cap_weight
+            )
+            if defer and weight > 1:
+                self.env.process(
+                    self._write_residual(weight - 1, length), name="write-residual"
+                )
+                weight = 1
             yield from self.cpu("write_req", weight * costs.request_cpu)
 
             if data is None and not self.server_directed:
@@ -422,7 +546,7 @@ class SimStorageServer(_SimServerBase):
             return {"status": "ok", "written": length}
 
         def write_stream(ctx, cap, oid, offset, length, n_chunks, data_node, data_bits,
-                         txnid=None, weight=1):
+                         txnid=None, weight=1, cap_weight=None):
             """The steady-state middle of a bulk write as ONE fluid flow
             (flow-level data path).  Request CPU for all ``n_chunks`` is
             charged up front, one thread and one recycled pinned buffer
@@ -433,7 +557,9 @@ class SimStorageServer(_SimServerBase):
             :func:`write` (collapsed equivalence class)."""
             if not self.server_directed:
                 raise NetworkError("write_stream requires server-directed mode")
-            yield from self._authorize(cap, OpMask.WRITE, self._cid_of(oid))
+            yield from self._authorize(
+                cap, OpMask.WRITE, self._cid_of(oid), weight=weight, cap_weight=cap_weight
+            )
             yield from self.cpu("write_req", weight * n_chunks * costs.request_cpu)
 
             tracer = self.env.tracer
@@ -476,11 +602,26 @@ class SimStorageServer(_SimServerBase):
                 self.svc.write(cap, oid, offset, data, txnid=txnid)
             return {"status": "ok", "written": length}
 
-        def read(ctx, cap, oid, offset, length, data_node, data_bits, weight=1):
+        def read(ctx, cap, oid, offset, length, data_node, data_bits, weight=1,
+                 defer=False, cap_weight=None):
             """``weight`` > 1 (collapsing): this read stands for *weight*
             clients' identical chunks — seeks, disk bytes, CPU, and the
-            reply wire all scale; the push serializes weight*length."""
-            yield from self._authorize(cap, OpMask.READ, self._cid_of(oid))
+            reply wire all scale; the push serializes weight*length.
+
+            ``defer`` (open-loop batches): serve one arrival's read in
+            full (CPU, disk, wire push) and reply; the rest of the batch's
+            CPU and disk charge in the background.  The residual pushes
+            skip the wire — the real pushes would land on *weight - 1*
+            different client NICs, none of which is this stream's
+            bottleneck for the small reads open-loop tenants issue."""
+            yield from self._authorize(
+                cap, OpMask.READ, self._cid_of(oid), weight=weight, cap_weight=cap_weight
+            )
+            if defer and weight > 1:
+                self.env.process(
+                    self._read_residual(weight - 1, length), name="read-residual"
+                )
+                weight = 1
             yield from self.cpu("read_req", weight * costs.request_cpu)
             tracer = self.env.tracer
             t_wait = self.env._now if tracer is not None else 0.0
@@ -529,9 +670,16 @@ class SimStorageServer(_SimServerBase):
                 yield from self.node.compute(actual / costs.filter_scan_rate)
                 return run_filter(name, piece_bytes(data), args or {})
 
-        def getattr_(ctx, cap, oid):
-            yield from self._authorize(cap, OpMask.GETATTR, self._cid_of(oid))
-            yield from self.cpu("getattr", costs.getattr_cpu)
+        def getattr_(ctx, cap, oid, weight=1, defer=False, cap_weight=None):
+            yield from self._authorize(
+                cap, OpMask.GETATTR, self._cid_of(oid), weight=weight, cap_weight=cap_weight
+            )
+            if defer and weight > 1:
+                self.env.process(
+                    self._getattr_residual(weight - 1), name="getattr-residual"
+                )
+                weight = 1
+            yield from self.cpu("getattr", weight * costs.getattr_cpu)
             return self.svc.get_attrs(cap, oid)
 
         def setattr_(ctx, cap, oid, key, value, txnid=None):

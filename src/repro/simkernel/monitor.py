@@ -9,13 +9,23 @@ huge sample arrays unless asked to.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
 __all__ = ["Tally", "Monitor", "Counter"]
 
 
 class Tally:
-    """Streaming mean/variance/min/max of unweighted samples (Welford)."""
+    """Streaming mean/variance/min/max of samples (Welford).
+
+    Samples default to unit weight.  A weighted observation stands for
+    ``weight`` identical samples — collapsed tenant representatives
+    record one latency on behalf of their whole equivalence class — and
+    updates mean/variance with the closed-form batch merge, so the
+    statistics equal those of the expanded sample stream.  The
+    ``weight == 1`` path is byte-for-byte the historical arithmetic:
+    an unweighted caller's floats are bit-identical to before.
+    """
 
     def __init__(self, name: str = "", keep_samples: bool = False) -> None:
         self.name = name
@@ -26,19 +36,39 @@ class Tally:
         self.max = -math.inf
         self.total = 0.0
         self.samples: Optional[List[float]] = [] if keep_samples else None
+        #: Parallel per-sample weights; materialized lazily on the first
+        #: weighted observation so purely-unweighted tallies keep their
+        #: original memory footprint and exact percentile path.
+        self._weights: Optional[List[float]] = None
 
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        delta = value - self._mean
-        self._mean += delta / self.count
-        self._m2 += delta * (value - self._mean)
+    def observe(self, value: float, weight: int = 1) -> None:
+        if weight == 1:
+            self.count += 1
+            self.total += value
+            delta = value - self._mean
+            self._mean += delta / self.count
+            self._m2 += delta * (value - self._mean)
+        else:
+            if weight <= 0:
+                raise ValueError(f"weight {weight!r} must be positive")
+            prior = self.count
+            self.count = prior + weight
+            self.total += weight * value
+            delta = value - self._mean
+            # Chan et al. batch merge of `weight` copies of one value
+            # (batch mean == value, batch m2 == 0).
+            self._mean += delta * weight / self.count
+            self._m2 += delta * delta * prior * weight / self.count
+            if self.samples is not None and self._weights is None:
+                self._weights = [1.0] * len(self.samples)
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
         if self.samples is not None:
             self.samples.append(value)
+            if self._weights is not None:
+                self._weights.append(float(weight))
 
     @property
     def mean(self) -> float:
@@ -70,17 +100,45 @@ class Tally:
                 raise ValueError(f"quantile {q!r} outside [0, 1]")
         if not self.samples:
             return [math.nan for _ in qs]
-        ordered = sorted(self.samples)
-        out: List[float] = []
+        if self._weights is None:
+            ordered = sorted(self.samples)
+            out: List[float] = []
+            for q in qs:
+                rank = (len(ordered) - 1) * q
+                lo = math.floor(rank)
+                hi = math.ceil(rank)
+                if lo == hi:
+                    out.append(ordered[lo])
+                else:
+                    frac = rank - lo
+                    out.append(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+            return out
+        # Weighted percentiles over the *expanded* stream: a sample of
+        # weight w occupies w consecutive positions of the sorted virtual
+        # array, so the result equals what observing each copy
+        # individually would have produced (and the all-weights-1 case
+        # equals the unweighted path above).
+        pairs = sorted(zip(self.samples, self._weights))
+        cum: List[float] = []
+        running = 0.0
+        for _, w in pairs:
+            running += w
+            cum.append(running)
+        expanded = running  # == weighted count
+
+        def _at(idx: float) -> float:
+            return pairs[bisect_right(cum, idx)][0]
+
+        out = []
         for q in qs:
-            rank = (len(ordered) - 1) * q
+            rank = (expanded - 1) * q
             lo = math.floor(rank)
             hi = math.ceil(rank)
             if lo == hi:
-                out.append(ordered[lo])
+                out.append(_at(lo))
             else:
                 frac = rank - lo
-                out.append(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+                out.append(_at(lo) * (1.0 - frac) + _at(hi) * frac)
         return out
 
     def summary(self) -> Dict[str, float]:

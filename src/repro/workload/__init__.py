@@ -1,0 +1,47 @@
+"""Open-loop multi-tenant traffic: specs, arrival engine, collapsing.
+
+ROADMAP item 1 — scale-invariant multi-tenant load.  A
+:class:`WorkloadSpec` describes tenant-class populations (arrival
+process × op mix × size distribution); :func:`run_workload_trial`
+drives them against a shared LWFS deployment with arrival-batch
+aggregation and tenant-class collapsing, so 10^6 simulated tenants cost
+event-loop work proportional to the *traffic*, not the population.
+
+Quick use::
+
+    from repro.workload import diurnal_mixed, run_workload_trial
+
+    result = run_workload_trial(diurnal_mixed(tenants=1_000_000), n_servers=16)
+    print(result.extra["ops_per_s"], result.extra["max_class_multiplicity"])
+
+``REPRO_TENANT_COLLAPSE=0`` is the kill switch: every tenant gets its
+own session (bit-identical to collapsed mode whenever every class
+multiplicity is already 1).  ``python -m repro.workload`` runs the
+traffic-quick gate.
+"""
+
+from .engine import WorkloadEngine, auto_representatives, run_workload_trial
+from .spec import (
+    ARRIVALS,
+    OPS,
+    SIZE_DISTS,
+    TenantClass,
+    WorkloadSpec,
+    diurnal_mixed,
+    load_workload,
+    save_workload,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "OPS",
+    "SIZE_DISTS",
+    "TenantClass",
+    "WorkloadEngine",
+    "WorkloadSpec",
+    "auto_representatives",
+    "diurnal_mixed",
+    "load_workload",
+    "run_workload_trial",
+    "save_workload",
+]

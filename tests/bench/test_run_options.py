@@ -87,12 +87,19 @@ class TestResolutionOrder:
     def test_describe_is_json_stable(self):
         doc = RunOptions().describe()
         assert set(doc) == set(RunOptions._ENV) | {
-            "faults", "shards", "metrics_period",
+            "faults", "shards", "metrics_period", "workload",
         }
         assert doc["metrics_period"] is None  # "auto" is a real state
         assert doc["faults"] == ""
+        assert doc["workload"] == ""
         plan = FaultPlan(seed=9)
         assert RunOptions(faults=plan).describe()["faults"] == plan.signature()
+
+    def test_describe_folds_in_the_workload_signature(self):
+        from repro.workload import diurnal_mixed
+
+        mix = diurnal_mixed(tenants=100, rate=5.0, horizon=2.0, quantum=0.5)
+        assert RunOptions(workload=mix).describe()["workload"] == mix.signature()
 
 
 class TestLegacyKwargs:

@@ -180,11 +180,34 @@ class TestExecutorClamp:
         import repro.bench.executor as executor
 
         monkeypatch.setattr(executor.os, "cpu_count", lambda: 8)
-        monkeypatch.setattr(executor, "_SHARD_CLAMP_WARNED", [])
+        monkeypatch.setattr(executor, "_WARNED_KEYS", set())
         with pytest.warns(RuntimeWarning, match="oversubscribes"):
             assert _clamp_jobs_for_shards(8, self._specs(4)) == 2
         # Fits within the cores: untouched, no warning.
         assert _clamp_jobs_for_shards(2, self._specs(4)) == 2
+
+    def test_clamp_warning_fires_once_per_key(self, monkeypatch):
+        import warnings
+
+        import repro.bench.executor as executor
+
+        monkeypatch.setattr(executor.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(executor, "_WARNED_KEYS", set())
+        with pytest.warns(RuntimeWarning, match="oversubscribes"):
+            _clamp_jobs_for_shards(8, self._specs(4))
+        # Same clamp again: still capped, but the warning is deduplicated.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _clamp_jobs_for_shards(8, self._specs(4)) == 2
+        # The helper reports dedup status and keys independently.
+        monkeypatch.setattr(executor, "_WARNED_KEYS", set())
+        with pytest.warns(RuntimeWarning):
+            assert executor._warn_once("k1", "first") is True
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert executor._warn_once("k1", "repeat") is False
+        with pytest.warns(RuntimeWarning):
+            assert executor._warn_once("k2", "other key") is True
 
 
 class TestCacheKeySensitivity:
