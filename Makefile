@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick trace-quick scale-quick flow-quick chaos-quick shard-quick metrics-quick traffic-quick
+.PHONY: test bench bench-quick trace-quick scale-quick flow-quick chaos-quick shard-quick metrics-quick traffic-quick buffer-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -78,6 +78,21 @@ traffic-quick:
 	$(PYTHON) -m repro.workload
 	$(PYTHON) -m repro traffic --workload examples/workloads/diurnal_mixed.json \
 		--servers 8 --seed 1
+
+# Burst-buffer smoke: five gates in one module run — TierSpec JSON
+# round-trip + signature stability, the REPRO_TIERS kill switch
+# (passthrough bit-identical to the direct path with collapse/flow off
+# and on), the absorb speedup with the burst fitting the pool, visible
+# backpressure when it does not, and seeded-bit-identical crash-mid-
+# drain recovery (buffer loses, hostlog re-drives).  Writes
+# results/buffer_quick.json; then the buffer crossover gate on the Red
+# Storm slice (>= 5x over direct, drain-limited point attributed), and
+# one CLI trial driven by an example tier spec so --tiers stays wired.
+buffer-quick:
+	$(PYTHON) -m repro.storage.buffer
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m repro.bench.executor --check-buffer
+	$(PYTHON) -m repro checkpoint --clients 8 --servers 4 --state-mb 8 \
+		--tiers examples/tiers/nvram_node_local.json
 
 # One traced checkpoint trial: phase report, timeline, and Chrome trace
 # JSON (results/trace_quick.json), schema-validated.

@@ -49,7 +49,11 @@ __all__ = ["CACHE_SCHEMA", "TrialCache", "cache_enabled", "default_cache_dir", "
 #: ``REPRO_TENANT_COLLAPSE`` kill switch) are part of the key, and
 #: outcome payloads grew tenants_simulated / max_class_multiplicity and
 #: per-tenant-class latency rows, so v4 entries are stale by construction.
-CACHE_SCHEMA = "repro-trial-cache/v5"
+#: v6: the burst-buffer tier spec (REPRO_TIERS) joined the key — its
+#: resolved content signature rides ``RunOptions.describe()`` — and
+#: buffered trials grew the buffer_* drain stats in ``extra``, so v5
+#: entries are stale by construction.
+CACHE_SCHEMA = "repro-trial-cache/v6"
 
 
 def cache_enabled() -> bool:
@@ -102,6 +106,8 @@ def _resolved_options(spec) -> RunOptions:
     }
     if spec.params.get("faults") is not None:
         legacy["faults"] = spec.params["faults"]
+    if spec.params.get("tiers") is not None:
+        legacy["tiers"] = spec.params["tiers"]
     if legacy:
         opts = replace(opts, **legacy)
     return opts.resolved()

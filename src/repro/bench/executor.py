@@ -59,8 +59,11 @@ __all__ = [
 #: stores grew the metrics summary in the same change, and one shared
 #: generation is easier to audit than two drifting ones.  v5: open-loop
 #: workload trials (kind="workload") joined the sweep, and per-trial
-#: rows grew tenants_simulated / max_class_multiplicity.
-SWEEP_SCHEMA = "repro-bench-sweep/v5"
+#: rows grew tenants_simulated / max_class_multiplicity.  v6: the
+#: burst-buffer tier signature joined the trial key (repro-trial-cache/v6)
+#: and buffered rows carry the buffer_* drain stats; sweeps recorded
+#: under older schemas are dropped on the next write (with a count).
+SWEEP_SCHEMA = "repro-bench-sweep/v6"
 
 #: Cap on recorded sweep entries kept in BENCH_sweep.json.
 SWEEP_HISTORY = 50
@@ -119,6 +122,10 @@ class TrialOutcome:
     metrics: Optional[Dict[str, Any]] = None
     #: Compact series summary + SLO verdict, sized for BENCH_sweep.json.
     metrics_summary: Optional[Dict[str, Any]] = None
+    #: Burst-buffer drain stats when the spec carried a tier
+    #: (``buffer_absorbed_mb``, ``buffer_drain_tail_s``,
+    #: ``buffer_backpressure_s``, ...; None on the direct path).
+    buffer_summary: Optional[Dict[str, float]] = None
     #: Open-loop workload trials: how many tenants the run stood for and
     #: the largest tenant multiplicity one representative session carried
     #: (0 for the closed-loop checkpoint/create kinds).
@@ -216,6 +223,9 @@ def _run_trial(spec: TrialSpec) -> TrialOutcome:
             if k in result.extra
         }
         fault_summary["fault_log_entries"] = len(result.fault_log)
+    buffer_summary = {
+        k: v for k, v in result.extra.items() if k.startswith("buffer_")
+    } or None
     metrics_summary = None
     if result.metrics is not None:
         from ..metrics import metrics_summary as summarize_metrics
@@ -234,6 +244,7 @@ def _run_trial(spec: TrialSpec) -> TrialOutcome:
         trace=result.trace,
         trace_summary=trace_summary,
         fault_summary=fault_summary,
+        buffer_summary=buffer_summary,
         fault_log=result.fault_log,
         metrics=result.metrics,
         metrics_summary=metrics_summary,
@@ -284,6 +295,8 @@ def _outcome_payload(o: TrialOutcome) -> Dict[str, Any]:
     if o.tenants_simulated:
         payload["tenants_simulated"] = o.tenants_simulated
         payload["max_class_multiplicity"] = o.max_class_multiplicity
+    if o.buffer_summary is not None:
+        payload["buffer_summary"] = o.buffer_summary
     if o.metrics is not None:
         payload["metrics"] = o.metrics
         payload["metrics_summary"] = o.metrics_summary
@@ -304,6 +317,7 @@ def _cached_outcome(spec: TrialSpec, payload: Dict[str, Any], wall: float) -> Tr
         window_barriers=int(payload.get("window_barriers", 0)),
         metrics=metrics if isinstance(metrics, dict) else None,
         metrics_summary=payload.get("metrics_summary"),
+        buffer_summary=payload.get("buffer_summary"),
         tenants_simulated=int(payload.get("tenants_simulated", 0)),
         max_class_multiplicity=int(payload.get("max_class_multiplicity", 0)),
         cached=True,
@@ -480,6 +494,8 @@ def _trial_record(o: TrialOutcome) -> Dict[str, Any]:
         row["trace_summary"] = o.trace_summary
     if o.fault_summary is not None:
         row["fault_summary"] = o.fault_summary
+    if o.buffer_summary is not None:
+        row["buffer_summary"] = o.buffer_summary
     if o.metrics_summary is not None:
         row["metrics_summary"] = o.metrics_summary
     return row
@@ -492,8 +508,16 @@ def _record_sweep(label: str, jobs: int, wall: float, outcomes: List[TrialOutcom
         with open(path, encoding="utf-8") as fh:
             existing = json.load(fh)
         if isinstance(existing, dict) and isinstance(existing.get("sweeps"), list):
-            doc = existing
-            doc["schema"] = SWEEP_SCHEMA
+            if existing.get("schema") == SWEEP_SCHEMA:
+                doc = existing
+            else:
+                # Rows written under an older schema are stale by
+                # construction (the trial key changed); keeping them
+                # would mix incomparable generations in one file.
+                print(
+                    f"[bench] dropping {len(existing['sweeps'])} sweep(s) recorded "
+                    f"under {existing.get('schema')!r} (current: {SWEEP_SCHEMA!r})"
+                )
     except (OSError, ValueError):
         pass
 
@@ -604,6 +628,40 @@ def _shard_grid(shards: int) -> List[TrialSpec]:
     ]
 
 
+#: Buffer crossover gate: with the burst fitting the buffer, the dump
+#: must beat direct-to-OST by at least this factor on the Red Storm slice.
+BUFFER_MIN_SPEEDUP = 5.0
+
+
+def _buffer_grid() -> List[TrialSpec]:
+    """The burst-buffer crossover points: the 128-client Red Storm slice
+    direct, buffered with the burst fitting the pool (absorb-limited),
+    and buffered with the pool smaller than the burst (drain-limited)."""
+    from ..machine.presets import red_storm
+    from ..sim.config import RunOptions
+    from ..storage.buffer import TierSpec
+    from ..units import GiB, MiB
+
+    spec = red_storm()
+    base = dict(collapse=True, flow=True)
+    fits = TierSpec(mode="buffer", placement="node-local", capacity_bytes=2 * GiB)
+    limited = TierSpec(mode="buffer", placement="node-local", capacity_bytes=2 * MiB)
+    return [
+        checkpoint_spec(
+            "lwfs", 128, 32, seed=600, state_bytes=8 * MiB, spec=spec,
+            options=RunOptions(**base),
+        ),
+        checkpoint_spec(
+            "lwfs", 128, 32, seed=600, state_bytes=8 * MiB, spec=spec,
+            options=RunOptions(tiers=fits, **base),
+        ),
+        checkpoint_spec(
+            "lwfs", 128, 32, seed=600, state_bytes=8 * MiB, spec=spec,
+            options=RunOptions(tiers=limited, **base),
+        ),
+    ]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """``python -m repro.bench.executor``: smoke-run the parallel sweep.
 
@@ -642,6 +700,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--check-fastforward", action="store_true",
         help="run the flow grid with the analytic fast-forward engine on "
              f"and off and require relative error <= {FF_REL_TOL:g}",
+    )
+    parser.add_argument(
+        "--check-buffer", action="store_true",
+        help="run the burst-buffer crossover points (direct vs buffer-fits "
+             f"vs drain-limited) and require a >= {BUFFER_MIN_SPEEDUP:g}x "
+             "absorb speedup plus visible drain-limited backpressure",
     )
     parser.add_argument(
         "--check-shard", action="store_true",
@@ -739,6 +803,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"fast-forward gate ok: {len(fast)} points within {FF_REL_TOL:g} "
             f"(worst {worst:.3e}), {ffwd} completions fast-forwarded"
         )
+
+    if args.check_buffer:
+        direct, fits, limited = run_sweep(
+            _buffer_grid(), jobs=jobs, label="buffer-crossover", cache=cache
+        )
+        speedup = fits.value / direct.value if direct.value else 0.0
+        fs = fits.buffer_summary or {}
+        ls = limited.buffer_summary or {}
+        ok = (
+            speedup >= BUFFER_MIN_SPEEDUP
+            and fs.get("buffer_backpressure_s", 1.0) == 0.0
+            and fs.get("buffer_drain_incomplete", 1.0) == 0.0
+            and ls.get("buffer_backpressure_s", 0.0) > 0.0
+            and ls.get("buffer_drain_limited", 0.0) == 1.0
+        )
+        print(
+            f"buffer crossover: direct={direct.value:.0f} MB/s, "
+            f"buffer-fits={fits.value:.0f} MB/s ({speedup:.1f}x, drain tail "
+            f"{fs.get('buffer_drain_tail_s', 0.0):.2f}s), drain-limited="
+            f"{limited.value:.0f} MB/s (backpressure "
+            f"{ls.get('buffer_backpressure_s', 0.0):.2f}s)"
+        )
+        if not ok:
+            print(f"buffer gate FAILED (need >= {BUFFER_MIN_SPEEDUP:g}x and "
+                  "drain-limited backpressure)")
+            return 1
+        print(f"buffer gate ok: {speedup:.1f}x >= {BUFFER_MIN_SPEEDUP:g}x")
 
     if args.check_shard:
         single = run_sweep(

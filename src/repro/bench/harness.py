@@ -29,6 +29,7 @@ from ..units import MiB
 
 __all__ = [
     "IMPLEMENTATIONS",
+    "IMPL_BUILDERS",
     "TrialResult",
     "SweepPoint",
     "run_checkpoint_trial",
@@ -100,6 +101,7 @@ def _merge_options(
     collapse=None,
     flow=None,
     faults=None,
+    tiers=None,
 ) -> RunOptions:
     """Fold legacy kwargs into a resolved :class:`RunOptions`.
 
@@ -113,6 +115,9 @@ def _merge_options(
             legacy[name] = bool(value)
     if faults is not None:
         legacy["faults"] = faults
+    if tiers is not None:
+        _warn_legacy("tiers")
+        legacy["tiers"] = tiers
     opts = options if options is not None else RunOptions()
     if legacy:
         opts = replace(opts, **legacy)
@@ -130,6 +135,61 @@ class SweepPoint:
     stdev: float
     unit: str
     trials: List[float] = field(default_factory=list)
+
+
+def _build_lwfs(cluster, n_servers: int, **deploy_kwargs):
+    deployment = LWFSDeployment(cluster, n_storage_servers=n_servers, **deploy_kwargs)
+    return deployment, LWFSCheckpointer(deployment)
+
+
+def _build_lustre_fpp(cluster, n_servers: int, **deploy_kwargs):
+    deployment = PFSDeployment(cluster, n_osts=n_servers, **deploy_kwargs)
+    return deployment, PFSCheckpointer(deployment, mode="file-per-process")
+
+
+def _build_lustre_shared(cluster, n_servers: int, **deploy_kwargs):
+    deployment = PFSDeployment(cluster, n_osts=n_servers, **deploy_kwargs)
+    return deployment, PFSCheckpointer(deployment, mode="shared")
+
+
+#: Implementation registry: each builder returns ``(deployment,
+#: checkpointer)`` where the checkpointer implements the
+#: :class:`~repro.iolib.api.Checkpointer` interface — everything
+#: downstream (harness, sweeps, gates) dispatches on that interface,
+#: never on the concrete class.
+IMPL_BUILDERS: Dict[str, Callable] = {
+    "lwfs": _build_lwfs,
+    "lustre-fpp": _build_lustre_fpp,
+    "lustre-shared": _build_lustre_shared,
+}
+
+
+def _attach_tier(cluster, deployment, opts: RunOptions, impl: str, n_clients: int):
+    """Interpose the burst-buffer tier between checkpointer and servers.
+
+    Returns the replacement checkpointer, or ``None`` for the direct
+    path (``tiers`` unset or ``mode: passthrough`` — the kill switch,
+    bit-identical to the pre-tier event sequence).  Must run before the
+    fault injector is created (so ``buf{i}`` targets resolve) and before
+    the collapse plan is computed (so the buffered collapse key is
+    used).
+    """
+    tier = opts.tiers
+    if tier is None or not tier.enabled:
+        return None
+    if impl != "lwfs":
+        raise ValueError(
+            f"the burst-buffer tier fronts LWFS storage servers; impl {impl!r} "
+            "does not support tiers (use mode: passthrough or impl='lwfs')"
+        )
+    from ..iolib.buffered import BufferedLWFSCheckpointer, HostLogLWFSCheckpointer
+    from ..storage.buffer import BufferTierRuntime
+
+    runtime = BufferTierRuntime(cluster, deployment, tier, n_ranks=n_clients)
+    cls = HostLogLWFSCheckpointer if tier.mode == "hostlog" else BufferedLWFSCheckpointer
+    deployment.buffers = runtime.buffers
+    deployment.buffer_tier = runtime
+    return cls(deployment, runtime)
 
 
 def _build(
@@ -157,17 +217,16 @@ def _build(
         service_nodes=1,
         options=opts,
     )
-    if impl == "lwfs":
-        deployment = LWFSDeployment(cluster, n_storage_servers=n_servers, **deploy_kwargs)
-        checkpointer = LWFSCheckpointer(deployment)
-    elif impl == "lustre-fpp":
-        deployment = PFSDeployment(cluster, n_osts=n_servers)
-        checkpointer = PFSCheckpointer(deployment, mode="file-per-process")
-    elif impl == "lustre-shared":
-        deployment = PFSDeployment(cluster, n_osts=n_servers)
-        checkpointer = PFSCheckpointer(deployment, mode="shared")
-    else:
-        raise ValueError(f"unknown implementation {impl!r}; expected one of {IMPLEMENTATIONS}")
+    try:
+        builder = IMPL_BUILDERS[impl]
+    except KeyError:
+        raise ValueError(
+            f"unknown implementation {impl!r}; expected one of {IMPLEMENTATIONS}"
+        ) from None
+    deployment, checkpointer = builder(cluster, n_servers, **deploy_kwargs)
+    buffered = _attach_tier(cluster, deployment, opts, impl, n_clients)
+    if buffered is not None:
+        checkpointer = buffered
     injector = None
     if opts.faults is not None:
         from ..faults import FaultInjector
@@ -197,6 +256,7 @@ def run_checkpoint_trial(
     trace: Optional[bool] = None,
     collapse: Optional[bool] = None,
     flow: Optional[bool] = None,
+    tiers=None,
     options: Optional[RunOptions] = None,
     **deploy_kwargs,
 ) -> TrialResult:
@@ -218,9 +278,12 @@ def run_checkpoint_trial(
     installs the fault injector (:mod:`repro.faults`): the fault log
     lands on ``TrialResult.fault_log`` and the recovery counters
     (``retries``, ``recovered_ops``, ``goodput_degraded``, ...) in
-    ``TrialResult.extra``.
+    ``TrialResult.extra``.  ``tiers=TierSpec(...)`` (or a JSON path)
+    interposes the burst-buffer tier (:mod:`repro.storage.buffer`): the
+    dump lands at absorb speed and drains asynchronously; the drain
+    tail, goodput, and backpressure land in ``TrialResult.extra``.
     """
-    opts = _merge_options(options, trace=trace, collapse=collapse, flow=flow)
+    opts = _merge_options(options, trace=trace, collapse=collapse, flow=flow, tiers=tiers)
     if opts.shards > 1:
         from .shard import run_sharded_checkpoint_trial
 
@@ -246,7 +309,11 @@ def run_checkpoint_trial(
     results = app.run(main)
     max_elapsed = max(r.elapsed for r in results)
     mean_elapsed = sum(r.elapsed for r in results) / len(results)
-    extra = _kernel_stats(cluster)
+    # The workload's measured window ends here; the buffer tier keeps
+    # draining in the background, so run the drain barrier (and charge
+    # its tail) before the injector/sampler close their windows.
+    extra = _drain_tier(deployment)
+    extra.update(_kernel_stats(cluster))
     extra.update(_collapse_stats(app))
     if injector is not None:
         injector.finish()
@@ -282,6 +349,7 @@ def run_create_trial(
     trace: Optional[bool] = None,
     collapse: Optional[bool] = None,
     flow: Optional[bool] = None,
+    tiers=None,
     options: Optional[RunOptions] = None,
     **deploy_kwargs,
 ) -> TrialResult:
@@ -290,7 +358,7 @@ def run_create_trial(
     Accepts the same ``options=RunOptions(...)`` configuration (and the
     same deprecated legacy booleans) as :func:`run_checkpoint_trial`.
     """
-    opts = _merge_options(options, trace=trace, collapse=collapse, flow=flow)
+    opts = _merge_options(options, trace=trace, collapse=collapse, flow=flow, tiers=tiers)
     if opts.shards > 1:
         from .shard import run_sharded_create_trial
 
@@ -310,7 +378,8 @@ def run_create_trial(
     results = app.run(main)
     max_elapsed = max(r.elapsed for r in results)
     total_creates = n_clients * creates_per_client
-    extra = _kernel_stats(cluster)
+    extra = _drain_tier(deployment)
+    extra.update(_kernel_stats(cluster))
     extra.update(_collapse_stats(app))
     extra["creates_per_s"] = total_creates / max_elapsed
     if injector is not None:
@@ -444,6 +513,18 @@ def _finish_metrics(sampler, fault_log: Optional[list]) -> Optional[dict]:
     doc = build_doc(sampler.registry, sampler)
     doc["health"] = evaluate_health(doc, fault_log=fault_log).to_dict()
     return doc
+
+
+def _drain_tier(deployment) -> Dict[str, float]:
+    """Run the buffer tier's drain barrier and collect its stats.
+
+    No-op (empty dict) on the direct path; the dict shape matches
+    ``TrialResult.extra`` (plain floats, process-pool safe).
+    """
+    runtime = getattr(deployment, "buffer_tier", None)
+    if runtime is None:
+        return {}
+    return runtime.finish()
 
 
 def _kernel_stats(cluster) -> Dict[str, float]:

@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject the faults scheduled in this JSON plan "
                             "(see repro.faults; also REPRO_FAULTS=PLAN.json) "
                             "and print the fault/recovery summary")
+    point.add_argument("--tiers", default=None, metavar="TIERS.json",
+                       help="checkpoint through the burst-buffer tier described "
+                            "by this JSON spec (see repro.storage.buffer and "
+                            "examples/tiers/; also REPRO_TIERS=TIERS.json) and "
+                            "print the absorb/drain summary")
     point.add_argument("--fast-forward", dest="fastforward", default=None,
                        action="store_true",
                        help="analytic steady-state fast-forward for flow-mode "
@@ -274,6 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             collapse=True if args.collapse else None,
             flow=True if args.flow else None,
             faults=args.faults,
+            tiers=args.tiers,
             fastforward=args.fastforward,
             shards=args.shards,
             metrics=True if args.metrics is not None else None,
@@ -302,6 +308,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"create phase {result.create_max_elapsed * 1e3:.2f} ms)"
             + collapsed + sharded
         )
+        if "buffer_nodes" in result.extra:
+            e = result.extra
+            regime = "drain-limited" if e["buffer_drain_limited"] else "absorb-limited"
+            print(
+                f"buffer tier: {e['buffer_nodes']:.0f} nodes absorbed "
+                f"{e['buffer_absorbed_mb']:.0f} MB ({regime}), drained "
+                f"{e['buffer_drained_mb']:.0f} MB at "
+                f"{e['buffer_drain_goodput_mb_s']:.1f} MB/s "
+                f"(tail {e['buffer_drain_tail_s']:.3f} s after the dump, "
+                f"backpressure {e['buffer_backpressure_s']:.3f} s, "
+                f"lost {e['buffer_lost_mb']:.0f} MB)"
+            )
         if result.fault_log is not None:
             _print_fault_summary(result)
         if args.metrics is not None and result.metrics is not None:

@@ -91,6 +91,8 @@ class FaultInjector:
             servers[f"stor{i}"] = srv
         for i, srv in enumerate(getattr(dep, "osts", ())):
             servers[f"ost{i}"] = srv
+        for i, srv in enumerate(getattr(dep, "buffers", ())):
+            servers[f"buf{i}"] = srv
         return servers
 
     def _resolve(self, target: str):

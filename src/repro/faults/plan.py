@@ -63,7 +63,8 @@ class FaultEvent:
     """One scheduled fault.
 
     ``target`` names a server the way clients address it: ``stor0``,
-    ``ost1``, ``mds``, ``authz``, ``auth``, ``naming``, ``locks`` — or
+    ``ost1``, ``buf0`` (a burst-buffer node, when a tier is configured),
+    ``mds``, ``authz``, ``auth``, ``naming``, ``locks`` — or
     ``node:<id>`` for a raw node (link faults).  ``duration`` is the
     outage/stall/degradation window; ``0`` means the fault is permanent.
     ``factor`` is the bandwidth multiplier for ``link_degrade`` (0.25 =

@@ -9,6 +9,8 @@ libraries add exactly what their application class needs:
   write layer (the paper's future-work §6 direction).
 """
 
+from .api import Checkpointer
+from .buffered import BufferedLWFSCheckpointer, HostLogLWFSCheckpointer
 from .checkpoint import CheckpointError, CheckpointResult, LWFSCheckpointer, PFSCheckpointer
 from .collective import LWFSCollectiveIO, ParallelFile
 from .active import FILTER_REGISTRY, attach_filter_support, register_filter, run_filter
@@ -16,6 +18,9 @@ from .datamap import Block, DistributionPolicy, HashedPlacement, ListPlacement, 
 from .posixfs import LWFSPosixFS, PosixFile
 
 __all__ = [
+    "Checkpointer",
+    "BufferedLWFSCheckpointer",
+    "HostLogLWFSCheckpointer",
     "CheckpointResult",
     "CheckpointError",
     "LWFSCollectiveIO",

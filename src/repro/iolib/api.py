@@ -1,0 +1,51 @@
+"""The pluggable checkpointer interface.
+
+:class:`LWFSCheckpointer`, the two :class:`PFSCheckpointer` modes, and
+the burst-buffer front-ends (:mod:`repro.iolib.buffered`) historically
+duck-typed the same five methods; this ABC makes the contract explicit
+so the harness, the sweep executor, and the fault tooling dispatch on an
+interface instead of a copy of it.  Every method except
+:meth:`collapse_key` is a simulation generator (drive it with
+``yield from`` inside a rank program).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+__all__ = ["Checkpointer"]
+
+
+class Checkpointer(ABC):
+    """One checkpoint implementation, driven from rank programs."""
+
+    @abstractmethod
+    def client(self, ctx):
+        """The per-node client endpoint this rank talks through."""
+
+    @abstractmethod
+    def collapse_key(self, rank: int, state_bytes: int = 0):
+        """Equivalence-class key for symmetric-client collapsing.
+
+        Two ranks with equal keys must do interchangeable work — feed
+        this to :func:`repro.sim.collapse.collapse_plan`.
+        """
+
+    @abstractmethod
+    def setup(self, ctx):
+        """Once-per-application acquisition phase (generator)."""
+
+    @abstractmethod
+    def checkpoint(self, ctx, state, path: Optional[str] = None):
+        """One collective checkpoint of *state*; returns a
+        :class:`~repro.iolib.checkpoint.CheckpointResult` (generator)."""
+
+    @abstractmethod
+    def create_objects(self, ctx, count: int):
+        """Create *count* empty objects/files (Figure 10 workload)."""
+
+    @abstractmethod
+    def restart(self, ctx, path: str):
+        """Recover this rank's state from the named checkpoint; returns
+        ``(state, CheckpointResult)`` (generator)."""

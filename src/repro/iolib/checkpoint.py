@@ -31,6 +31,7 @@ from ..pfs.client import SimPFSClient
 from ..pfs.file import OpenFlags
 from ..sim.client import SimLWFSClient
 from ..storage.data import Piece, piece_bytes, piece_len
+from .api import Checkpointer
 from .datamap import DistributionPolicy, RoundRobin
 
 __all__ = ["CheckpointError", "CheckpointResult", "LWFSCheckpointer", "PFSCheckpointer"]
@@ -95,7 +96,7 @@ class CheckpointResult:
 # ---------------------------------------------------------------------------
 
 
-class LWFSCheckpointer:
+class LWFSCheckpointer(Checkpointer):
     """Figure 8's MAIN()/CHECKPOINT() over the simulated LWFS."""
 
     def __init__(
@@ -208,8 +209,7 @@ class LWFSCheckpointer:
         if error is None:
             phase = _phase_begin(ctx, "write")
             try:
-                yield from client.write(self.cap, oid, state, txnid=txnid, weight=mult)
-                _note_tenant_bytes(ctx, piece_len(state), mult)
+                yield from self._write_state(ctx, client, sid, oid, state, txnid, mult)
             except Exception as exc:  # noqa: BLE001 - reported collectively
                 error = f"{type(exc).__name__}: {exc}"
             _phase_end(ctx, phase)
@@ -217,7 +217,7 @@ class LWFSCheckpointer:
         if error is None:
             phase = _phase_begin(ctx, "sync")
             try:
-                yield from client.sync(sid, weight=mult)
+                yield from self._sync_state(ctx, client, sid, mult)
             except Exception as exc:  # noqa: BLE001 - reported collectively
                 error = f"{type(exc).__name__}: {exc}"
             _phase_end(ctx, phase)
@@ -312,6 +312,37 @@ class LWFSCheckpointer:
             oid=oid,
         )
 
+    # -- tier hooks (overridden by the buffered front-ends) ---------------------
+    def _write_state(self, ctx: RankContext, client, sid: int, oid, state, txnid, mult: int):
+        """DUMPSTATE: move this rank's bytes into its object.
+
+        The direct path writes straight to the storage server; the
+        buffered front-ends (:mod:`repro.iolib.buffered`) override this to
+        absorb into the burst-buffer tier instead.
+        """
+        yield from client.write(self.cap, oid, state, txnid=txnid, weight=mult)
+        _note_tenant_bytes(ctx, piece_len(state), mult)
+
+    def _sync_state(self, ctx: RankContext, client, sid: int, mult: int):
+        """Force this rank's dump durable before the commit."""
+        yield from client.sync(sid, weight=mult)
+
+    def _read_back(self, ctx: RankContext, client, oid, payload: dict,
+                   read_retries: int, retry_delay: float):
+        """Restart: bulk read of this rank's state (retried; overridable)."""
+        attempt = 0
+        while True:
+            try:
+                state = yield from client.read(
+                    self.cap, oid, 0, payload["size"], weight=ctx.multiplicity
+                )
+                return state
+            except Exception:
+                attempt += 1
+                if attempt > read_retries:
+                    raise
+                yield ctx.env.timeout(retry_delay)
+
     # -- create-only phase (Figure 10 workload) -------------------------------------
     def create_objects(self, ctx: RankContext, count: int):
         """Create *count* empty objects (the file/object-creation phase)."""
@@ -363,18 +394,7 @@ class LWFSCheckpointer:
             raise CheckpointError(f"checkpoint {path!r} has no entry for rank {ctx.rank}")
 
         oid = ObjectID(payload["oid"], server_hint=payload["server"])
-        attempt = 0
-        while True:
-            try:
-                state = yield from client.read(
-                    self.cap, oid, 0, payload["size"], weight=ctx.multiplicity
-                )
-                break
-            except Exception:
-                attempt += 1
-                if attempt > read_retries:
-                    raise
-                yield ctx.env.timeout(retry_delay)
+        state = yield from self._read_back(ctx, client, oid, payload, read_retries, retry_delay)
         return state, CheckpointResult(
             rank=ctx.rank,
             elapsed=ctx.env.now - start,
@@ -389,7 +409,7 @@ class LWFSCheckpointer:
 # ---------------------------------------------------------------------------
 
 
-class PFSCheckpointer:
+class PFSCheckpointer(Checkpointer):
     """Checkpoint via the Lustre-like baseline.
 
     ``mode='file-per-process'``: rank *r* creates ``<path>.rank<r>`` with a

@@ -153,6 +153,43 @@ def install_standard_instruments(registry: MetricsRegistry, cluster, deployment)
             unit="invs",
         )
 
+    # -- burst-buffer tier (only when a tier runtime is attached) -----------
+    buffers = list(getattr(deployment, "buffers", ()))
+    if buffers:
+        registry.gauge(
+            "buffer.occupancy",
+            lambda: float(sum(b.occupancy_bytes for b in buffers)),
+            unit="B", scope="kernel",
+        )
+        registry.gauge(
+            "buffer.queue",
+            lambda: float(sum(b.queue_len for b in buffers)),
+            unit="extents", scope="kernel",
+        )
+        registry.gauge(
+            "buffer.absorbed",
+            lambda: float(sum(b.absorbed_bytes for b in buffers)),
+            unit="B",
+        )
+        registry.gauge(
+            "buffer.drained",
+            lambda: float(sum(b.drained_bytes for b in buffers)),
+            unit="B",
+        )
+        # The phase-attribution signal: a rising curve means absorbs are
+        # waiting on pool space, i.e. the run is drain-limited.
+        registry.gauge(
+            "buffer.backpressure",
+            lambda: float(sum(b.backpressure_s for b in buffers)),
+            unit="s",
+        )
+        for buf in buffers[:PER_SERVER_CAP]:
+            registry.gauge(
+                f"buffer.{buf.name}.occupancy",
+                lambda b=buf: float(b.occupancy_bytes),
+                unit="B", scope="kernel",
+            )
+
     # -- metadata / control-plane services ----------------------------------
     for attr in ("authz", "mds"):
         srv = getattr(deployment, attr, None)

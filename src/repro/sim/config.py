@@ -186,6 +186,7 @@ class RunOptions:
     shards         ``REPRO_SHARD`` (int)    1
     faults         ``REPRO_FAULTS`` (path)  None
     workload       ``REPRO_WORKLOAD`` (path) None
+    tiers          ``REPRO_TIERS`` (path)   None
     ============== ======================== =======
 
     ``shards`` follows the kill-switch convention of the boolean
@@ -229,6 +230,14 @@ class RunOptions:
     #: :func:`repro.workload.load_workload` and :meth:`describe` folds the
     #: spec's content signature into the trial-cache key.
     workload: Optional[object] = None
+    #: A :class:`repro.storage.buffer.TierSpec` (or a JSON path, or
+    #: ``None`` for the direct-to-OST path).  Follows the ``faults``
+    #: pattern: a string resolves through
+    #: :func:`repro.storage.buffer.load_tiers` and :meth:`describe` folds
+    #: the spec's content signature into the trial-cache key.  A spec
+    #: with ``mode: passthrough`` is kept but never interposes — the
+    #: kill-switch state that is bit-identical to ``tiers=None``.
+    tiers: Optional[object] = None
 
     _ENV = {
         "collapse": "REPRO_COLLAPSE",
@@ -303,9 +312,21 @@ class RunOptions:
             from ..workload.spec import load_workload
 
             workload = load_workload(workload)
+        tiers = self.tiers
+        if tiers is None:
+            tier_path = env_str("REPRO_TIERS").strip()
+            if tier_path:
+                from ..storage.buffer.tier import load_tiers
+
+                tiers = load_tiers(tier_path)
+        elif isinstance(tiers, str):
+            from ..storage.buffer.tier import load_tiers
+
+            tiers = load_tiers(tiers)
         return RunOptions(
             faults=faults,
             workload=workload,
+            tiers=tiers,
             shards=shards,
             metrics_period=period,
             **values,
@@ -327,4 +348,5 @@ class RunOptions:
         doc["workload"] = (
             opts.workload.signature() if opts.workload is not None else ""
         )
+        doc["tiers"] = opts.tiers.signature() if opts.tiers is not None else ""
         return doc

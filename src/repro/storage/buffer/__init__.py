@@ -1,0 +1,19 @@
+"""Burst-buffer absorb-then-drain tier (ROADMAP item 2).
+
+``python -m repro.storage.buffer`` runs the self-check gate
+(``make buffer-quick``).
+"""
+
+from .node import BufferNode, BufferTierRuntime, Extent
+from .tier import TIER_MODES, TIER_PLACEMENTS, TierSpec, load_tiers, save_tiers
+
+__all__ = [
+    "TIER_MODES",
+    "TIER_PLACEMENTS",
+    "TierSpec",
+    "load_tiers",
+    "save_tiers",
+    "BufferNode",
+    "BufferTierRuntime",
+    "Extent",
+]

@@ -87,11 +87,12 @@ class TestResolutionOrder:
     def test_describe_is_json_stable(self):
         doc = RunOptions().describe()
         assert set(doc) == set(RunOptions._ENV) | {
-            "faults", "shards", "metrics_period", "workload",
+            "faults", "shards", "metrics_period", "workload", "tiers",
         }
         assert doc["metrics_period"] is None  # "auto" is a real state
         assert doc["faults"] == ""
         assert doc["workload"] == ""
+        assert doc["tiers"] == ""
         plan = FaultPlan(seed=9)
         assert RunOptions(faults=plan).describe()["faults"] == plan.signature()
 
@@ -100,6 +101,12 @@ class TestResolutionOrder:
 
         mix = diurnal_mixed(tenants=100, rate=5.0, horizon=2.0, quantum=0.5)
         assert RunOptions(workload=mix).describe()["workload"] == mix.signature()
+
+    def test_describe_folds_in_the_tier_signature(self):
+        from repro.storage.buffer import TierSpec
+
+        tier = TierSpec(mode="buffer")
+        assert RunOptions(tiers=tier).describe()["tiers"] == tier.signature()
 
 
 class TestLegacyKwargs:

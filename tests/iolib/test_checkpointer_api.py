@@ -1,0 +1,51 @@
+"""The Checkpointer ABC: every implementation satisfies one interface."""
+
+import pytest
+
+from repro.bench.harness import IMPL_BUILDERS
+from repro.iolib import (
+    BufferedLWFSCheckpointer,
+    Checkpointer,
+    HostLogLWFSCheckpointer,
+    LWFSCheckpointer,
+    PFSCheckpointer,
+)
+
+CONCRETE = [
+    LWFSCheckpointer,
+    PFSCheckpointer,
+    BufferedLWFSCheckpointer,
+    HostLogLWFSCheckpointer,
+]
+
+INTERFACE = ("client", "collapse_key", "setup", "checkpoint",
+             "create_objects", "restart")
+
+
+class TestInterface:
+    def test_abc_is_not_instantiable(self):
+        with pytest.raises(TypeError):
+            Checkpointer()
+
+    @pytest.mark.parametrize("cls", CONCRETE)
+    def test_every_implementation_subclasses_the_abc(self, cls):
+        assert issubclass(cls, Checkpointer)
+
+    @pytest.mark.parametrize("cls", CONCRETE)
+    def test_no_abstract_methods_left(self, cls):
+        assert not getattr(cls, "__abstractmethods__", None)
+
+    @pytest.mark.parametrize("name", INTERFACE)
+    def test_interface_is_abstract_on_the_base(self, name):
+        assert name in Checkpointer.__abstractmethods__
+
+
+class TestRegistry:
+    def test_registry_covers_the_paper_stacks(self):
+        assert set(IMPL_BUILDERS) == {"lwfs", "lustre-fpp", "lustre-shared"}
+
+    def test_buffered_modes(self):
+        assert BufferedLWFSCheckpointer.MODE == "buffer"
+        assert HostLogLWFSCheckpointer.MODE == "hostlog"
+        assert issubclass(BufferedLWFSCheckpointer, LWFSCheckpointer)
+        assert issubclass(HostLogLWFSCheckpointer, LWFSCheckpointer)
